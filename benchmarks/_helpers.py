@@ -1,0 +1,71 @@
+"""Shared helpers for the benchmark suite (imported by the bench modules).
+
+The figure benchmarks regenerate the paper's evaluation at a reduced
+scale (fewer task sets per point, subsampled sweeps) so the whole suite
+stays laptop-sized; the CLI (``repro figure <inset> --sets 50``) runs
+the full-size version. Each benchmark prints the series it produced —
+the printed tables are the artefacts that EXPERIMENTS.md references.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.interface import AnalysisOptions
+from repro.experiments.config import ExperimentConfig, figure2_config
+from repro.experiments.report import ascii_plot, render_sweep_table
+from repro.experiments.runner import SweepResult, run_experiment
+
+
+@pytest.fixture
+def bench_options() -> AnalysisOptions:
+    """Analysis options for benchmarks: cap individual MILP solves.
+
+    The dual bound is reported on time-limit, so verdicts stay safe
+    (possibly pessimistic) even if a solve is cut short.
+    """
+    return AnalysisOptions(time_limit=10.0)
+
+
+def scaled_inset(
+    inset: str,
+    sets_per_point: int,
+    keep_every: int = 1,
+    start: int = 0,
+    stop: int | None = None,
+) -> ExperimentConfig:
+    """A reduced-size version of a Fig. 2 inset configuration."""
+    full = figure2_config(inset, sets_per_point=sets_per_point)
+    points = full.points[start:stop:keep_every]
+    from dataclasses import replace
+
+    return replace(full, points=points)
+
+
+def run_and_report(
+    config: ExperimentConfig, options: AnalysisOptions
+) -> SweepResult:
+    """Run a sweep and print its table + ASCII plot."""
+    result = run_experiment(config, options=options)
+    print()
+    print(render_sweep_table(result))
+    print(ascii_plot(result))
+    return result
+
+
+def assert_proposed_dominates(
+    result: SweepResult, slack_sets: int = 1
+) -> None:
+    """The paper's headline shape: proposed >= both baselines.
+
+    ``slack_sets`` task sets of sampling noise are tolerated per point
+    (the reduced benchmark sample is small).
+    """
+    tolerance = slack_sets / result.points[0].sets_evaluated
+    for point in result.points:
+        proposed = point.ratios["proposed"]
+        for baseline in ("nps_carry", "wasly"):
+            assert proposed >= point.ratios[baseline] - tolerance, (
+                f"proposed below {baseline} at x={point.x}: "
+                f"{proposed} vs {point.ratios[baseline]}"
+            )

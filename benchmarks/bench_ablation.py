@@ -1,0 +1,161 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* **LS-marking policy** — greedy (Sec. VI) vs no marking vs everything
+  vs a static tightest-deadline heuristic, on a batch of random sets.
+* **NPS convention** — the paper-framework "carry" variant vs the
+  exact busy-window analysis (how much of the NPS baseline's strength
+  depends on the carry-in convention).
+* **Bound tightness** — the MILP delay bound vs the closed-form screen
+  (why the MILP is worth its cost).
+* **Backend** — HiGHS vs the pure-Python branch-and-bound on the same
+  delay MILP.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.interface import AnalysisOptions
+from repro.analysis.ls_assignment import LS_POLICIES
+from repro.analysis.nps import NpsAnalysis
+from repro.analysis.proposed.closed_form import closed_form_delay_bound
+from repro.analysis.proposed.formulation import AnalysisMode, build_delay_milp
+from repro.analysis.proposed.response_time import ProposedAnalysis
+from repro.generator import GenerationConfig, generate_tasksets
+from repro.milp import BranchBoundBackend, HighsBackend
+
+
+@pytest.fixture(scope="module")
+def batch():
+    config = GenerationConfig(n=5, utilization=0.35, gamma=0.2, beta=0.5)
+    return list(generate_tasksets(config, 12, seed=31))
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ls_policy_ablation(benchmark, batch, bench_options):
+    """Accepted-set counts per marking policy on the same batch."""
+    analysis = ProposedAnalysis(bench_options)
+
+    def evaluate():
+        counts = {}
+        for name, policy in LS_POLICIES.items():
+            counts[name] = sum(
+                policy(ts, analysis, collect_results=False).schedulable
+                for ts in batch
+            )
+        return counts
+
+    counts = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print(f"\naccepted sets out of {len(batch)}: {counts}")
+    # The greedy search dominates the no-marking baseline by design
+    # (it only adds marks when a task would otherwise miss).
+    assert counts["greedy"] >= counts["all_nls"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_nps_variant_ablation(benchmark, batch):
+    """Exact busy-window NPS vs the paper-framework carry variant."""
+
+    def evaluate():
+        exact = sum(NpsAnalysis(variant="exact").is_schedulable(ts) for ts in batch)
+        carry = sum(NpsAnalysis(variant="carry").is_schedulable(ts) for ts in batch)
+        return exact, carry
+
+    exact, carry = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print(f"\nNPS exact accepts {exact}/{len(batch)}, carry {carry}/{len(batch)}")
+    assert carry <= exact  # carry is strictly more pessimistic
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bound_tightness_ablation(benchmark, batch):
+    """Mean closed-form / MILP bound ratio (MILP tightness payoff)."""
+    options = AnalysisOptions(stop_at_deadline=False, max_iterations=30)
+    analysis = ProposedAnalysis(options)
+
+    def evaluate():
+        ratios = []
+        for ts in batch[:4]:
+            for task in ts:
+                milp = analysis.response_time(ts, task)
+                if not milp.converged:
+                    continue
+                closed = closed_form_delay_bound(
+                    ts, task, blocking_intervals=2, urgent_possible=True,
+                    deadline_cap=1e12,
+                )
+                ratios.append(closed / milp.wcrt)
+        return ratios
+
+    ratios = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    finite = [r for r in ratios if np.isfinite(r)]
+    diverged = len(ratios) - len(finite)
+    print(f"\nclosed-form/MILP bound ratio: mean {np.mean(finite):.2f}, "
+          f"max {max(finite):.2f} over {len(finite)} tasks "
+          f"(+{diverged} where only the closed form diverges)")
+    assert min(ratios) >= 1.0 - 1e-9  # closed form is never tighter
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_method_tier_ablation(benchmark, batch):
+    """Acceptance by analysis tier: closed-form vs LP vs MILP.
+
+    Each tier is a safe over-approximation of the next, so acceptance
+    counts must be monotone: closed_form <= lp <= milp.
+    """
+
+    def evaluate():
+        counts = {}
+        for method in ("closed_form", "lp", "milp"):
+            analysis = ProposedAnalysis(method=method)
+            counts[method] = sum(
+                analysis.first_unschedulable(ts) is None for ts in batch
+            )
+        return counts
+
+    counts = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print(f"\naccepted by tier (of {len(batch)}): {counts}")
+    assert counts["closed_form"] <= counts["lp"] <= counts["milp"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_backend_ablation(benchmark, batch):
+    """HiGHS vs branch-and-bound on one representative delay MILP."""
+    ts = batch[0]
+    task = ts[len(ts) - 1]
+    built = build_delay_milp(ts, task, 15.0, AnalysisMode.NLS)
+
+    highs = built.model.solve(HighsBackend())
+
+    def solve_bb():
+        return built.model.solve(BranchBoundBackend(max_nodes=500_000))
+
+    bb = benchmark.pedantic(solve_bb, rounds=1, iterations=1)
+    print(f"\nHiGHS {highs.objective:.4f} in {highs.runtime_seconds:.3f}s; "
+          f"B&B {bb.objective:.4f} in {bb.runtime_seconds:.3f}s "
+          f"({bb.node_count} nodes)")
+    assert abs(highs.objective - bb.objective) <= 1e-5
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_carry_refinement_ablation(benchmark, batch):
+    """Paper's eta(t)+1 carry vs the jitter-aware refinement.
+
+    The refinement (eta(t + R_j), hierarchical hp WCRTs) is a strict
+    tightening: it must accept a superset of the sets the paper-faithful
+    analysis accepts.
+    """
+
+    def evaluate():
+        paper = ProposedAnalysis()
+        refined = ProposedAnalysis(carry_refinement=True)
+        paper_ok = sum(
+            paper.first_unschedulable(ts) is None for ts in batch
+        )
+        refined_ok = sum(
+            refined.first_unschedulable(ts) is None for ts in batch
+        )
+        return paper_ok, refined_ok
+
+    paper_ok, refined_ok = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print(f"\naccepted: paper-faithful {paper_ok}/{len(batch)}, "
+          f"carry-refined {refined_ok}/{len(batch)}")
+    assert refined_ok >= paper_ok

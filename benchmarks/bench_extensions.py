@@ -1,0 +1,140 @@
+"""Benchmarks for the extension modules (beyond the paper's figures).
+
+Covers the future-work/auxiliary systems DESIGN.md lists: task-chain
+latency bounds vs measured data propagation, sensitivity bisection,
+adversarial worst-case search, and Audsley's OPA with the proposed
+analysis as oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.schedulability import analyze_taskset
+from repro.analysis.sensitivity import critical_scaling_factor
+from repro.chains import TaskChain, chain_reaction_bound
+from repro.chains.measurement import max_reaction_time
+from repro.model.priorities import opa_with_analysis
+from repro.model.taskset import TaskSet
+from repro.sim.adversarial import find_worst_response
+from repro.sim.interval_sim import ProposedSimulator, WaslySimulator
+from repro.sim.releases import sporadic_plan
+
+
+@pytest.fixture(scope="module")
+def pipeline_ts():
+    return TaskSet.from_parameters(
+        [
+            ("sensor", 0.8, 0.10, 0.10, 10.0, 9.0),
+            ("filter", 1.5, 0.20, 0.20, 20.0, 18.0),
+            ("actuate", 1.0, 0.10, 0.10, 20.0, 20.0),
+            ("logger", 2.0, 0.30, 0.30, 50.0, 45.0),
+        ]
+    )
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_chain_bound_vs_measurement(benchmark, pipeline_ts):
+    """Chain reaction bound covers measured propagation (proposed)."""
+    chain = TaskChain(
+        "loop", pipeline_ts, ("sensor", "filter", "actuate")
+    )
+    result = analyze_taskset(pipeline_ts, "proposed", ls_policy="as_marked")
+    bound = chain_reaction_bound(chain, result)
+
+    def measure():
+        rng = np.random.default_rng(12)
+        trace = ProposedSimulator(pipeline_ts).run(
+            sporadic_plan(pipeline_ts, 2000.0, rng)
+        )
+        return max_reaction_time(chain, trace)
+
+    measured = benchmark.pedantic(measure, rounds=2, iterations=1)
+    print(f"\nchain: measured {measured:.2f} <= bound {bound.total:.2f} "
+          f"(tightness {measured / bound.total:.0%})")
+    assert measured <= bound.total + 1e-6
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_sensitivity_bisection(benchmark, pipeline_ts):
+    """Critical execution-scaling factor under the proposed protocol."""
+    result = benchmark.pedantic(
+        lambda: critical_scaling_factor(
+            pipeline_ts, "execution", protocol="proposed", tolerance=0.05
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\ncritical execution scaling: {result.critical_factor:.2f} "
+          f"({result.evaluations} schedulability tests)")
+    assert result.schedulable_at_one
+    assert result.critical_factor >= 1.0
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_adversarial_search_tightness(benchmark, pipeline_ts):
+    """Worst observed response vs the [3]-analysis bound."""
+    from repro.analysis.interface import AnalysisOptions
+    from repro.analysis.wasly import WaslyAnalysis
+
+    victim = "sensor"
+    bound = WaslyAnalysis(
+        AnalysisOptions(stop_at_deadline=False)
+    ).response_time(pipeline_ts, pipeline_ts.by_name(victim)).wcrt
+
+    adv = benchmark.pedantic(
+        lambda: find_worst_response(
+            pipeline_ts, victim, WaslySimulator,
+            rng=np.random.default_rng(21),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nadversarial search: observed {adv.worst_response:.3f} "
+          f"vs bound {bound:.3f} "
+          f"(tightness {adv.worst_response / bound:.0%}, "
+          f"{adv.patterns_tried} patterns)")
+    assert adv.worst_response <= bound + 1e-6
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_opa_with_proposed_oracle(benchmark, pipeline_ts):
+    """Audsley's OPA over the proposed-protocol verdict oracle."""
+    ordered = benchmark.pedantic(
+        lambda: opa_with_analysis(pipeline_ts, protocol="proposed"),
+        rounds=1,
+        iterations=1,
+    )
+    assert ordered is not None
+    print(f"\nOPA order: {[t.name for t in ordered]}")
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_multicore_scaling(benchmark, bench_options):
+    """System-level ratio on a 4-core platform (partition + per-core).
+
+    Uses the MILP analysis per core; a system passes when every core
+    does. Demonstrates the full platform pipeline at benchmark scale.
+    """
+    from repro.experiments.multicore import (
+        MulticoreConfig,
+        run_multicore_point,
+    )
+
+    config = MulticoreConfig(
+        num_cores=4,
+        n_tasks=12,
+        total_utilization=1.2,
+        gamma=0.2,
+        method="milp",
+    )
+    result = benchmark.pedantic(
+        lambda: run_multicore_point(
+            config, systems=4, seed=2024, options=bench_options
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n4-core systems schedulable: "
+          + ", ".join(f"{p}={result.ratios[p]:.2f}" for p in config.protocols)
+          + f" (partition failures: {result.partition_failures})")
+    assert result.systems_evaluated == 4

@@ -1,0 +1,53 @@
+"""Fig. 1 reproduction benchmark: the motivating schedules.
+
+Regenerates both insets of the paper's Fig. 1 (plus the proposed
+protocol's schedule on the same scenario) and checks the qualitative
+outcome the figure demonstrates: the task under analysis misses under
+protocol [3] because of double blocking, and meets under NPS and under
+the proposed protocol.
+"""
+
+import pytest
+
+from repro.examples_support import figure1_plan, figure1_taskset
+from repro.sim.gantt import render_gantt
+from repro.sim.interval_sim import ProposedSimulator, WaslySimulator
+from repro.sim.nps_sim import NpsSimulator
+from repro.sim.validate import count_blocking_intervals
+
+DEADLINE = 8.0
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_fig1a_wasly_schedule(benchmark):
+    """Fig. 1(a): protocol [3] blocks ti twice -> deadline miss."""
+    sim = WaslySimulator(figure1_taskset())
+    trace = benchmark(lambda: sim.run(figure1_plan()))
+    print()
+    print(render_gantt(trace, width=90, until=14.0))
+    ti = trace.jobs_of("ti")[0]
+    assert count_blocking_intervals(trace, ti) == 2
+    assert trace.max_response_time("ti") > DEADLINE  # paper: miss
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_fig1b_nps_schedule(benchmark):
+    """Fig. 1(b): plain NPS blocks ti once -> deadline met."""
+    sim = NpsSimulator(figure1_taskset())
+    trace = benchmark(lambda: sim.run(figure1_plan()))
+    print()
+    print(render_gantt(trace, width=90, until=14.0))
+    assert trace.max_response_time("ti") <= DEADLINE  # paper: meet
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_fig1_proposed_schedule(benchmark):
+    """The proposed protocol on the same scenario: cancel + urgent."""
+    sim = ProposedSimulator(figure1_taskset(mark_ls=True))
+    trace = benchmark(lambda: sim.run(figure1_plan()))
+    print()
+    print(render_gantt(trace, width=90, until=14.0))
+    ti = trace.jobs_of("ti")[0]
+    assert ti.urgent and ti.copy_in_by == "cpu"
+    assert count_blocking_intervals(trace, ti) <= 1
+    assert trace.max_response_time("ti") <= DEADLINE

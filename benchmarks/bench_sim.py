@@ -1,0 +1,44 @@
+"""Simulator throughput benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.generator import GenerationConfig, generate_taskset
+from repro.sim.interval_sim import ProposedSimulator, WaslySimulator
+from repro.sim.nps_sim import NpsSimulator
+from repro.sim.releases import sporadic_plan
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(7)
+    taskset = generate_taskset(
+        GenerationConfig(n=8, utilization=0.5, gamma=0.2, beta=0.8), rng
+    )
+    # Mark the two tightest tasks LS so the proposed simulator
+    # exercises cancellation/urgency paths.
+    names = [t.name for t in sorted(taskset, key=lambda t: t.deadline)[:2]]
+    taskset = taskset.with_ls_marks(names)
+    plan = sporadic_plan(taskset, horizon=5000.0, rng=rng)
+    return taskset, plan
+
+
+@pytest.mark.benchmark(group="sim")
+def test_nps_simulator_throughput(benchmark, workload):
+    taskset, plan = workload
+    trace = benchmark(lambda: NpsSimulator(taskset).run(plan))
+    assert len(trace.completed_jobs()) == plan.total_jobs
+
+
+@pytest.mark.benchmark(group="sim")
+def test_wasly_simulator_throughput(benchmark, workload):
+    taskset, plan = workload
+    trace = benchmark(lambda: WaslySimulator(taskset).run(plan))
+    assert len(trace.completed_jobs()) == plan.total_jobs
+
+
+@pytest.mark.benchmark(group="sim")
+def test_proposed_simulator_throughput(benchmark, workload):
+    taskset, plan = workload
+    trace = benchmark(lambda: ProposedSimulator(taskset).run(plan))
+    assert len(trace.completed_jobs()) == plan.total_jobs

@@ -1,0 +1,3 @@
+"""Benchmark-suite conftest: re-export shared fixtures."""
+
+from _helpers import bench_options  # noqa: F401

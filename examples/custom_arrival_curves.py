@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Beyond sporadic: analysing tasks with richer event models.
+
+The paper's analysis is formulated over arrival curves, so any event
+model with a curve works — not just the sporadic tasks of the
+evaluation. This example analyses an interrupt-like bursty source
+(periodic with jitter and a minimum inter-event distance) alongside
+sporadic tasks, and shows how curve algebra composes sub-sources.
+
+Run:  python examples/custom_arrival_curves.py
+"""
+
+from repro import (
+    BurstyArrival,
+    PeriodicJitterArrival,
+    SporadicArrival,
+    Task,
+    TaskSet,
+    analyze_taskset,
+)
+from repro.curves import curve_sum
+
+
+def main() -> None:
+    # An interrupt handler triggered by a jittery periodic source that
+    # can burst (two back-to-back events at least 1 ms apart).
+    irq = Task(
+        name="irq",
+        exec_time=0.6,
+        copy_in=0.1,
+        copy_out=0.1,
+        deadline=5.0,
+        priority=0,
+        arrivals=BurstyArrival(period=8.0, jitter=6.0, d_min=1.0),
+        latency_sensitive=True,
+    )
+    control = Task(
+        name="control",
+        exec_time=1.5,
+        copy_in=0.3,
+        copy_out=0.3,
+        deadline=9.0,
+        priority=1,
+        arrivals=PeriodicJitterArrival(period=12.0, jitter=2.0),
+    )
+    worker = Task(
+        name="worker",
+        exec_time=4.0,
+        copy_in=0.8,
+        copy_out=0.8,
+        deadline=38.0,
+        priority=2,
+        arrivals=SporadicArrival(40.0),
+    )
+    taskset = TaskSet([irq, control, worker])
+
+    print("arrival-curve values eta(delta):")
+    print(f"{'delta':>8} {'irq':>5} {'control':>8} {'worker':>7} {'sum':>5}")
+    combined = curve_sum(irq.arrivals, control.arrivals, worker.arrivals)
+    for delta in (1.0, 5.0, 10.0, 20.0, 40.0):
+        print(
+            f"{delta:>8.1f} {irq.eta(delta):>5} {control.eta(delta):>8} "
+            f"{worker.eta(delta):>7} {combined.eta(delta):>5}"
+        )
+    print()
+
+    for protocol in ("nps", "wasly", "proposed"):
+        result = analyze_taskset(taskset, protocol, ls_policy="as_marked")
+        rows = ", ".join(
+            f"{name}={wcrt:.2f}{'' if ok else '!'}"
+            for name, wcrt, _, ok in result.summary_rows()
+        )
+        print(f"{protocol:<9} WCRTs: {rows}  "
+              f"(schedulable: {result.schedulable})")
+    print("\n('!' marks a deadline miss; irq is marked latency-sensitive)")
+
+
+if __name__ == "__main__":
+    main()

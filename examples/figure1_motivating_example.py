@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 1 motivating example, simulated.
+
+A latency-sensitive task ``ti`` is released while two lower-priority
+tasks are pending. The simulation shows the three outcomes the paper
+uses to motivate the protocol:
+
+* under protocol [3], ``ti`` is blocked by *two* lower-priority tasks
+  (the double-buffering pipeline already committed to both) and misses
+  its deadline — Fig. 1(a);
+* under plain non-preemptive scheduling it is blocked once and meets
+  the deadline — Fig. 1(b);
+* under the proposed protocol, ``ti``'s release cancels the second
+  lower-priority copy-in (rule R3), ``ti`` is promoted to urgent (R4),
+  performs its own copy-in on the CPU (R5), and meets the deadline.
+
+Run:  python examples/figure1_motivating_example.py
+"""
+
+from repro.examples_support import run_figure1_demo
+
+
+def main() -> None:
+    print(run_figure1_demo(width=96))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Case study: how the LS-marking policy decides schedulability.
+
+Marking a task latency-sensitive halves its worst-case blocking (one
+interval instead of two, Property 4) but makes it more expensive for
+everyone else: a cancelled copy-in must be redone and an urgent task
+occupies the CPU for ``l + C``. The paper therefore stresses that "it
+is important to carefully decide which task is marked as LS" (Sec. VI).
+This example builds a workload where
+
+* no marking at all leaves two tasks unschedulable (``all_nls``),
+* the plausible static heuristic "mark the tasks with the tightest
+  deadlines" picks the wrong pair and *fails*,
+* the paper's greedy algorithm converges on a different, minimal
+  marking and proves the set schedulable.
+
+Run:  python examples/ls_assignment_case_study.py
+"""
+
+from repro import TaskSet
+from repro.analysis.ls_assignment import LS_POLICIES
+
+
+def build_workload() -> TaskSet:
+    """Tight high-priority tasks above heavy lower-priority ones."""
+    return TaskSet.from_parameters(
+        [
+            # (name,    C,    l,    u,    T,     D)
+            ("tight1", 0.8, 0.10, 0.10, 30.0, 7.0),
+            ("tight2", 1.0, 0.15, 0.15, 35.0, 12.5),
+            ("mid",    2.0, 0.25, 0.25, 40.0, 14.0),
+            ("heavy1", 4.5, 0.50, 0.50, 50.0, 48.0),
+            ("heavy2", 5.0, 0.60, 0.60, 60.0, 58.0),
+        ]
+    )
+
+
+def main() -> None:
+    taskset = build_workload()
+    print("workload:")
+    for task in taskset:
+        print(
+            f"  {task.name:<8} C={task.exec_time:4.1f} l=u={task.copy_in:4.2f} "
+            f"T={task.period:5.1f} D={task.deadline:5.1f}"
+        )
+    print()
+
+    for policy_name, policy in LS_POLICIES.items():
+        outcome = policy(taskset)
+        verdict = "SCHEDULABLE" if outcome.schedulable else "not schedulable"
+        print(f"{policy_name:<20} -> {verdict:<16} "
+              f"LS={sorted(outcome.ls_names) or 'none'}")
+        if outcome.final_result is not None:
+            for r in outcome.final_result.results:
+                tag = "LS " if r.task.latency_sensitive else "NLS"
+                ok = "ok" if r.schedulable else "MISS"
+                print(f"    {r.task.name:<8} [{tag}] "
+                      f"WCRT={r.wcrt:7.3f} D={r.task.deadline:5.1f} {ok}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

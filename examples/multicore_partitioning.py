@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""End-to-end multicore flow: footprints -> copy times -> partitioning
+-> per-core schedulability.
+
+The paper's system model is a multicore with per-core local memories
+and DMA engines, analysed core by core after a static partitioning
+(Sec. II). This example:
+
+1. models a 4-core platform (dual-ported local memories split into two
+   partitions, per-core DMA engines with a fixed bandwidth);
+2. generates tasks whose copy-phase durations are *derived from their
+   memory footprints* and the DMA bandwidth (instead of the abstract
+   ``l = gamma * C`` model);
+3. partitions the tasks onto the cores with worst-fit decreasing;
+4. runs the proposed-protocol analysis (greedy LS marking) per core.
+
+Run:  python examples/multicore_partitioning.py
+"""
+
+import numpy as np
+
+from repro import Platform, partition_tasks
+from repro.analysis.schedulability import is_schedulable
+from repro.generator import generate_platform_taskset
+
+
+def main() -> None:
+    platform = Platform.homogeneous(
+        num_cores=4,
+        memory_bytes=512 * 1024,              # 512 KiB local memory/core
+        dma_bandwidth_bytes_per_ms=8 * 1024 * 1024,  # 8 GiB/s-ish
+        dma_setup_time=0.002,                 # 2 us programming overhead
+    )
+    rng = np.random.default_rng(42)
+    core = platform.cores[0]
+
+    # Generate a global workload sized for ~4 cores.
+    taskset = generate_platform_taskset(
+        n=16,
+        utilization=1.6,
+        core=core,
+        rng=rng,
+        footprint_low=16 * 1024,
+        footprint_high=192 * 1024,
+    )
+    print(f"{len(taskset)} tasks, total exec utilisation "
+          f"{taskset.utilization:.2f}\n")
+
+    result = partition_tasks(taskset, platform, heuristic="worst_fit")
+    for idx, core_set in enumerate(result.assignments):
+        if core_set is None:
+            print(f"core {idx}: (empty)")
+            continue
+        names = ", ".join(t.name for t in core_set)
+        print(f"core {idx}: U={core_set.utilization:.2f} tasks=[{names}]")
+        platform.validate_taskset(platform.cores[idx], core_set)
+        verdict = is_schedulable(core_set, "proposed", ls_policy="greedy")
+        print(f"         proposed-protocol schedulable: {verdict}")
+    print("\n(footprints were validated against the per-core partition size;"
+          "\n copy-phase durations follow from footprint / DMA bandwidth)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Reading the analysis' mind: decode the MILP's worst-case window.
+
+The delay MILP of Sec. V doesn't just return a number — its binary
+variables describe the *schedule shape* the solver found worst: who
+occupies each scheduling interval, whose copy-in gets cancelled, who
+runs urgent. This example decodes that witness for the quickstart
+workload, NLS vs LS, and shows how marking the task latency-sensitive
+changes the structure of its worst case (two blocking intervals
+collapse into one).
+
+Run:  python examples/worst_case_witness.py
+"""
+
+from repro import TaskSet
+from repro.analysis.proposed import (
+    AnalysisMode,
+    build_delay_milp,
+    extract_witness,
+    validate_witness,
+)
+
+
+def main() -> None:
+    taskset = TaskSet.from_parameters(
+        [
+            # (name,     C,    l,    u,    T,    D)
+            ("control", 1.0, 0.20, 0.20, 10.0, 7.0),
+            ("camera",  2.0, 0.60, 0.40, 12.0, 11.5),
+            ("fusion",  2.5, 0.50, 0.50, 20.0, 19.0),
+            ("logger",  4.0, 1.20, 1.20, 50.0, 45.0),
+        ]
+    )
+    task = taskset.by_name("control")
+    window = task.deadline - task.exec_time - task.copy_out
+
+    print("=== control as NLS (up to two lower-priority blockers) ===")
+    built = build_delay_milp(taskset, task, window, AnalysisMode.NLS)
+    solution = built.model.solve()
+    witness = extract_witness(built, solution, "control")
+    validate_witness(witness)
+    print(witness.render())
+    print(f"-> response bound {solution.objective + task.copy_out:.2f} "
+          f"vs deadline {task.deadline:g}\n")
+
+    print("=== control as LS, case (a): at most one blocker ===")
+    marked = taskset.with_ls_marks(["control"])
+    ls_task = marked.by_name("control")
+    built = build_delay_milp(marked, ls_task, window, AnalysisMode.LS_CASE_A)
+    solution = built.model.solve()
+    witness = extract_witness(built, solution, "control")
+    validate_witness(witness)
+    print(witness.render())
+    print(f"-> response bound {solution.objective + task.copy_out:.2f}\n")
+
+    print("=== control as LS, case (b): promoted to urgent in I_0 ===")
+    built = build_delay_milp(marked, ls_task, 0.0, AnalysisMode.LS_CASE_B)
+    solution = built.model.solve()
+    witness = extract_witness(built, solution, "control")
+    validate_witness(witness)
+    print(witness.render())
+    print(f"-> response bound {solution.objective + task.copy_out:.2f}")
+    print("\nThe LS worst case is the max of cases (a) and (b); compare the"
+          "\nblocking structure with the NLS witness above.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Legacy setup shim.
+
+This environment has no ``wheel`` package, so PEP 660 editable installs
+(`pip install -e .`) fail while building the editable wheel. This shim
+lets ``pip install -e . --no-use-pep517`` (and plain
+``python setup.py develop``) work offline. Metadata lives in
+``pyproject.toml``; keep the two in sync.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Predictable Memory-CPU Co-Scheduling with "
+        "Support for Latency-Sensitive Tasks' (DAC 2020)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

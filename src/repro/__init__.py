@@ -1,0 +1,88 @@
+"""repro — reproduction of *Predictable Memory-CPU Co-Scheduling with
+Support for Latency-Sensitive Tasks* (Casini et al., DAC 2020).
+
+The package implements the paper's protocol (rules R1-R6), its MILP
+worst-case-delay analysis, the two baselines it is evaluated against
+(classical non-preemptive scheduling and the protocol of Wasly &
+Pellizzoni [3]), a discrete-event simulator of all three, the workload
+generator of Sec. VII, and the experiment harness regenerating the
+paper's figures.
+
+Quickstart::
+
+    from repro import Task, TaskSet, is_schedulable
+
+    ts = TaskSet.from_parameters([
+        # (name,  C,   l,   u,   T,   D)
+        ("cam",  2.0, 0.4, 0.4, 12.0, 10.0),
+        ("ctrl", 1.0, 0.2, 0.2, 10.0,  4.0),
+        ("log",  4.0, 0.8, 0.8, 40.0, 40.0),
+    ])
+    for protocol in ("nps", "wasly", "proposed"):
+        print(protocol, is_schedulable(ts, protocol))
+"""
+
+from repro.analysis import (
+    AnalysisOptions,
+    NpsAnalysis,
+    ProposedAnalysis,
+    TaskResult,
+    TaskSetResult,
+    WaslyAnalysis,
+    analyze_taskset,
+    greedy_ls_assignment,
+    is_schedulable,
+)
+from repro.curves import (
+    ArrivalCurve,
+    BurstyArrival,
+    PeriodicJitterArrival,
+    SporadicArrival,
+)
+from repro.chains import TaskChain, chain_reaction_bound
+from repro.errors import ReproError
+from repro.io import load_taskset, save_taskset
+from repro.model import (
+    Platform,
+    Task,
+    TaskSet,
+    partition_tasks,
+)
+from repro.model.priorities import (
+    audsley_opa,
+    deadline_monotonic,
+    opa_with_analysis,
+    rate_monotonic,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Task",
+    "TaskSet",
+    "Platform",
+    "partition_tasks",
+    "TaskChain",
+    "chain_reaction_bound",
+    "load_taskset",
+    "save_taskset",
+    "deadline_monotonic",
+    "rate_monotonic",
+    "audsley_opa",
+    "opa_with_analysis",
+    "ArrivalCurve",
+    "SporadicArrival",
+    "PeriodicJitterArrival",
+    "BurstyArrival",
+    "AnalysisOptions",
+    "TaskResult",
+    "TaskSetResult",
+    "NpsAnalysis",
+    "WaslyAnalysis",
+    "ProposedAnalysis",
+    "analyze_taskset",
+    "is_schedulable",
+    "greedy_ls_assignment",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""The paper's analysis: MILP delay bounds for the proposed protocol.
+
+* :mod:`repro.analysis.proposed.intervals` — interval-count bounds
+  (Theorem 1 for NLS tasks, Corollary 1 for LS tasks).
+* :mod:`repro.analysis.proposed.formulation` — the MILP constraint
+  builder (Constraints 1-15 of Sec. V).
+* :mod:`repro.analysis.proposed.closed_form` — fast conservative
+  bounds, including the exact closed form of LS case (b).
+* :mod:`repro.analysis.proposed.response_time` — the iterative
+  response-time driver and the :class:`ProposedAnalysis` front end.
+"""
+
+from repro.analysis.proposed.intervals import (
+    interval_count_ls,
+    interval_count_nls,
+)
+from repro.analysis.proposed.formulation import (
+    AnalysisMode,
+    DelayMilp,
+    build_delay_milp,
+)
+from repro.analysis.proposed.closed_form import (
+    closed_form_delay_bound,
+    ls_case_b_bound,
+)
+from repro.analysis.proposed.response_time import ProposedAnalysis
+from repro.analysis.proposed.witness import (
+    ScheduleWitness,
+    extract_witness,
+    validate_witness,
+)
+
+__all__ = [
+    "ScheduleWitness",
+    "extract_witness",
+    "validate_witness",
+    "interval_count_nls",
+    "interval_count_ls",
+    "AnalysisMode",
+    "DelayMilp",
+    "build_delay_milp",
+    "closed_form_delay_bound",
+    "ls_case_b_bound",
+    "ProposedAnalysis",
+]

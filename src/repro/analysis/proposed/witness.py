@@ -1,0 +1,159 @@
+"""Decode a delay-MILP solution into a worst-case schedule witness.
+
+The delay MILP's binary variables describe *which* schedule shape the
+solver found worst: who executes in each interval, which copy-ins are
+cancelled, who runs urgent. This module turns a solved model back into
+that structural description — per interval: occupant, copy-in, copy-out,
+cancellation, and the chosen lengths — so the worst case can be read,
+printed, and sanity-checked (the checks in :func:`validate_witness`
+mirror the protocol rules on the decoded schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.proposed.formulation import DelayMilp
+from repro.errors import AnalysisError
+from repro.milp.solution import MilpSolution
+from repro.types import Time
+
+_SET = 0.5  # binaries are snapped to {0,1}; anything above is "set"
+
+
+@dataclass(frozen=True)
+class WitnessInterval:
+    """One interval of the decoded worst-case schedule."""
+
+    index: int
+    length: Time
+    cpu_length: Time
+    dma_in_length: Time
+    dma_out_length: Time
+    executes: str | None = None
+    urgent: bool = False
+    copy_in_of: str | None = None
+    cancelled_copy_in_of: str | None = None
+
+
+@dataclass(frozen=True)
+class ScheduleWitness:
+    """The decoded schedule plus headline numbers."""
+
+    task_name: str
+    mode: str
+    intervals: tuple[WitnessInterval, ...]
+    total_delay: Time
+
+    def render(self) -> str:
+        """Readable table of the worst-case window."""
+        lines = [
+            f"worst-case window for {self.task_name} "
+            f"(mode={self.mode}, {len(self.intervals)} intervals, "
+            f"delay={self.total_delay:.3f})",
+            f"{'k':>3} {'len':>8} {'cpu':>8} {'dma':>12}  activity",
+        ]
+        for iv in self.intervals:
+            dma = f"{iv.dma_out_length:.2f}+{iv.dma_in_length:.2f}"
+            acts = []
+            if iv.executes:
+                acts.append(
+                    f"exec {iv.executes}{' (urgent)' if iv.urgent else ''}"
+                )
+            if iv.copy_in_of:
+                acts.append(f"copy-in {iv.copy_in_of}")
+            if iv.cancelled_copy_in_of:
+                acts.append(f"CANCEL {iv.cancelled_copy_in_of}")
+            lines.append(
+                f"{iv.index:>3} {iv.length:>8.3f} {iv.cpu_length:>8.3f} "
+                f"{dma:>12}  {'; '.join(acts) or '-'}"
+            )
+        return "\n".join(lines)
+
+
+def _lookup(solution: MilpSolution, name: str) -> float:
+    try:
+        return solution.value_by_name(name)
+    except KeyError:
+        return 0.0
+
+
+def extract_witness(
+    built: DelayMilp, solution: MilpSolution, task_name: str
+) -> ScheduleWitness:
+    """Decode a solved delay MILP into a :class:`ScheduleWitness`.
+
+    Args:
+        built: The formulation returned by ``build_delay_milp``.
+        solution: Its (optimal) solution.
+        task_name: The task under analysis (labels the final interval).
+    """
+    if not solution.status.has_solution:
+        raise AnalysisError(
+            f"cannot extract a witness from a {solution.status.value} solve"
+        )
+    set_binaries = set(solution.binaries_set())
+    n = built.num_intervals
+
+    def binary_owner(prefix: str, k: int) -> str | None:
+        tag = f"{prefix}[{k},"
+        for name in set_binaries:
+            if name.startswith(tag):
+                return name[len(tag):-1]
+        return None
+
+    intervals = []
+    for k in range(n):
+        executes = binary_owner("E", k)
+        urgent_of = binary_owner("LE", k)
+        if k == n - 1:
+            executes = task_name
+        copy_in_of = binary_owner("E", k + 1) if k < n - 1 else None
+        if k == n - 2 and built.mode.value != "ls_b":
+            copy_in_of = task_name
+        intervals.append(
+            WitnessInterval(
+                index=k,
+                length=solution[built.deltas[k]],
+                cpu_length=_lookup(solution, f"De[{k}]"),
+                dma_in_length=_lookup(solution, f"Dl[{k}]"),
+                dma_out_length=_lookup(solution, f"Du[{k}]"),
+                executes=urgent_of or executes,
+                urgent=urgent_of is not None,
+                copy_in_of=copy_in_of,
+                cancelled_copy_in_of=binary_owner("CL", k),
+            )
+        )
+    return ScheduleWitness(
+        task_name=task_name,
+        mode=built.mode.value,
+        intervals=tuple(intervals),
+        total_delay=sum(iv.length for iv in intervals),
+    )
+
+
+def validate_witness(witness: ScheduleWitness) -> None:
+    """Check protocol-level sanity of a decoded schedule.
+
+    These are semantic checks on the decoded structure, complementary
+    to the MILP's own constraints: interval lengths are covered by the
+    claimed work, at most one occupant per interval, and the task under
+    analysis executes exactly in the final interval.
+    """
+    last = witness.intervals[-1]
+    if last.executes != witness.task_name:
+        raise AnalysisError(
+            f"final interval executes {last.executes!r}, expected "
+            f"{witness.task_name!r}"
+        )
+    for iv in witness.intervals:
+        dma = iv.dma_in_length + iv.dma_out_length
+        if iv.length > max(iv.cpu_length, dma) + 1e-6:
+            raise AnalysisError(
+                f"interval {iv.index} length {iv.length} exceeds both the "
+                f"CPU ({iv.cpu_length}) and DMA ({dma}) work"
+            )
+        if iv.executes is None and iv.cpu_length > 1e-6:
+            raise AnalysisError(
+                f"interval {iv.index} claims CPU time without an occupant"
+            )

@@ -1,0 +1,107 @@
+"""Task-set level schedulability front end.
+
+One entry point for the three compared approaches, matching the
+experimental setup of Sec. VII:
+
+* ``"nps"`` — classical non-preemptive scheduling, memory inline;
+* ``"wasly"`` — protocol [3];
+* ``"proposed"`` — the paper's protocol, with an LS-marking policy
+  (the greedy algorithm of Sec. VI by default).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.interface import AnalysisOptions, TaskSetResult
+from repro.analysis.ls_assignment import LS_POLICIES
+from repro.analysis.nps import NpsAnalysis
+from repro.analysis.proposed.response_time import ProposedAnalysis
+from repro.analysis.wasly import WaslyAnalysis
+from repro.errors import AnalysisError
+from repro.model.taskset import TaskSet
+
+PROTOCOLS = ("nps", "nps_carry", "wasly", "proposed")
+
+
+def _make_analysis(
+    protocol: str,
+    options: AnalysisOptions | None,
+    method: str,
+):
+    if protocol == "nps":
+        return NpsAnalysis(options, variant="exact")
+    if protocol == "nps_carry":
+        return NpsAnalysis(options, variant="carry")
+    if protocol == "wasly":
+        return WaslyAnalysis(options, method=method)
+    if protocol == "proposed":
+        return ProposedAnalysis(options, method=method)
+    raise AnalysisError(
+        f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}"
+    )
+
+
+def analyze_taskset(
+    taskset: TaskSet,
+    protocol: str,
+    options: AnalysisOptions | None = None,
+    method: str = "milp",
+    ls_policy: str = "as_marked",
+) -> TaskSetResult:
+    """Full per-task analysis of a task set under one protocol.
+
+    Args:
+        taskset: The per-core task set.
+        protocol: ``"nps"``, ``"wasly"`` or ``"proposed"``.
+        options: Shared analysis options.
+        method: ``"milp"`` or ``"closed_form"`` (ignored for NPS).
+        ls_policy: For the proposed protocol: ``"as_marked"`` uses the
+            task set's current LS flags, any key of
+            :data:`repro.analysis.ls_assignment.LS_POLICIES` runs that
+            marking search first.
+
+    Returns:
+        Per-task results (for a marking policy, of the final marking).
+    """
+    analysis = _make_analysis(protocol, options, method)
+    if protocol == "proposed" and ls_policy != "as_marked":
+        try:
+            policy = LS_POLICIES[ls_policy]
+        except KeyError:
+            raise AnalysisError(
+                f"unknown LS policy {ls_policy!r}; expected 'as_marked' or one "
+                f"of {sorted(LS_POLICIES)}"
+            ) from None
+        return policy(taskset, analysis).final_result
+    return analysis.analyze(taskset)
+
+
+def is_schedulable(
+    taskset: TaskSet,
+    protocol: str,
+    options: AnalysisOptions | None = None,
+    method: str = "milp",
+    ls_policy: str = "greedy",
+) -> bool:
+    """Schedulability verdict for one protocol (experiment workhorse).
+
+    The proposed protocol defaults to the greedy LS search of Sec. VI,
+    mirroring the paper's experiments.
+    """
+    analysis = _make_analysis(protocol, options, method)
+    if protocol == "proposed":
+        if ls_policy == "as_marked":
+            return analysis.is_schedulable(taskset)
+        try:
+            policy = LS_POLICIES[ls_policy]
+        except KeyError:
+            raise AnalysisError(
+                f"unknown LS policy {ls_policy!r}; expected 'as_marked' or one "
+                f"of {sorted(LS_POLICIES)}"
+            ) from None
+        # Cheap necessary conditions before any MILP is built.
+        cpu_util = sum(t.exec_time / t.period for t in taskset)
+        dma_util = sum((t.copy_in + t.copy_out) / t.period for t in taskset)
+        if cpu_util > 1.0 + 1e-12 or dma_util > 1.0 + 1e-12:
+            return False
+        return policy(taskset, analysis, collect_results=False).schedulable
+    return analysis.is_schedulable(taskset)

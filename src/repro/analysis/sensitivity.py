@@ -1,0 +1,162 @@
+"""Sensitivity analysis: how much headroom does a task set have?
+
+Standard companion tooling for schedulability analyses: given a task
+set and a protocol, find the largest scaling of a parameter for which
+the set stays schedulable (or the smallest that makes it schedulable).
+Implemented by bisection over a monotone scaling knob with the
+protocol's schedulability test as the oracle.
+
+Provided knobs:
+
+* **execution scaling** — multiply every ``C_i`` (and, with it,
+  ``l_i``/``u_i`` when they were derived as ``gamma * C_i``) by a
+  factor: the classic "critical scaling factor" metric;
+* **memory scaling** — multiply only the copy phases ``l_i``/``u_i``:
+  how memory-intensive can the workload get before the protocol
+  breaks (the gamma axis of the paper's Fig. 2(e));
+* **deadline scaling** — multiply every deadline: how much deadline
+  tightening the set tolerates (the beta axis of Fig. 2(f)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.analysis.schedulability import is_schedulable
+from repro.errors import AnalysisError
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+#: A scaling transform: (task, factor) -> scaled task.
+TaskScaler = Callable[[Task, float], Task]
+
+
+def scale_execution(task: Task, factor: float) -> Task:
+    """Scale all three phases (memory phases follow the execution)."""
+    return replace(
+        task,
+        exec_time=task.exec_time * factor,
+        copy_in=task.copy_in * factor,
+        copy_out=task.copy_out * factor,
+    )
+
+
+def scale_memory(task: Task, factor: float) -> Task:
+    """Scale only the copy phases."""
+    return replace(
+        task,
+        copy_in=task.copy_in * factor,
+        copy_out=task.copy_out * factor,
+    )
+
+
+def scale_deadline(task: Task, factor: float) -> Task:
+    """Scale the relative deadline."""
+    return replace(task, deadline=task.deadline * factor)
+
+
+SCALERS: dict[str, TaskScaler] = {
+    "execution": scale_execution,
+    "memory": scale_memory,
+    "deadline": scale_deadline,
+}
+
+
+def scaled_taskset(taskset: TaskSet, scaler: TaskScaler, factor: float) -> TaskSet:
+    """Apply a scaler to every task of a set."""
+    if factor <= 0:
+        raise AnalysisError(f"scaling factor must be positive, got {factor}")
+    return TaskSet(scaler(task, factor) for task in taskset)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Outcome of a sensitivity search.
+
+    Attributes:
+        knob: Which scaler was searched.
+        critical_factor: Largest factor (for increasing knobs) or
+            smallest factor (for ``deadline``, which *helps* when
+            larger) at which the set is schedulable, within tolerance.
+        schedulable_at_one: Whether the unscaled set was schedulable.
+        evaluations: Oracle calls performed.
+    """
+
+    knob: str
+    critical_factor: float
+    schedulable_at_one: bool
+    evaluations: int
+
+
+def critical_scaling_factor(
+    taskset: TaskSet,
+    knob: str = "execution",
+    protocol: str = "proposed",
+    method: str = "milp",
+    ls_policy: str = "greedy",
+    lower: float = 0.05,
+    upper: float = 4.0,
+    tolerance: float = 0.01,
+) -> SensitivityResult:
+    """Bisect for the critical scaling factor of one knob.
+
+    For ``execution`` and ``memory`` the schedulability predicate is
+    monotonically *decreasing* in the factor (more work is never
+    easier); for ``deadline`` it is *increasing* (looser deadlines are
+    never harder). The search returns the boundary within
+    ``tolerance`` — the largest schedulable factor for decreasing
+    knobs, the smallest for the deadline knob.
+    """
+    try:
+        scaler = SCALERS[knob]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown knob {knob!r}; expected one of {sorted(SCALERS)}"
+        ) from None
+    if not 0 < lower < upper:
+        raise AnalysisError("need 0 < lower < upper")
+    increasing_helps = knob == "deadline"
+
+    evaluations = 0
+
+    def ok(factor: float) -> bool:
+        nonlocal evaluations
+        evaluations += 1
+        candidate = scaled_taskset(taskset, scaler, factor)
+        return is_schedulable(
+            candidate, protocol, method=method, ls_policy=ls_policy
+        )
+
+    at_one = ok(1.0)
+
+    if increasing_helps:
+        # Find the smallest schedulable factor in [lower, upper].
+        if ok(lower):
+            return SensitivityResult(knob, lower, at_one, evaluations)
+        if not ok(upper):
+            return SensitivityResult(
+                knob, float("inf"), at_one, evaluations
+            )
+        lo, hi = lower, upper  # lo infeasible, hi feasible
+        while hi - lo > tolerance:
+            mid = (lo + hi) / 2
+            if ok(mid):
+                hi = mid
+            else:
+                lo = mid
+        return SensitivityResult(knob, hi, at_one, evaluations)
+
+    # Decreasing knob: find the largest schedulable factor.
+    if not ok(lower):
+        return SensitivityResult(knob, 0.0, at_one, evaluations)
+    if ok(upper):
+        return SensitivityResult(knob, upper, at_one, evaluations)
+    lo, hi = lower, upper  # lo feasible, hi infeasible
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        if ok(mid):
+            lo = mid
+        else:
+            hi = mid
+    return SensitivityResult(knob, lo, at_one, evaluations)

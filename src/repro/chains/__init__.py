@@ -1,0 +1,27 @@
+"""Task chains: end-to-end latency on top of the per-task analyses.
+
+The paper's rule R2 performs copy-outs eagerly precisely so the
+protocol "allows extending ... to the case of communicating tasks
+(e.g., for data-driven task chains)", which the authors leave as future
+work (Sec. IV-A). This package provides that extension in its standard
+asynchronous form: chains of periodically-activated tasks communicating
+through global-memory registers (the producer's copy-out publishes, the
+consumer's next copy-in samples), with
+
+* a worst-case *reaction-time* bound composed from the per-task WCRTs
+  (Davare-style: the event waits for the first task's next release,
+  then each hop adds one sampling period plus one response time), and
+* a trace-based measurement that follows actual data propagation
+  through a simulated schedule, used to validate the bound.
+"""
+
+from repro.chains.model import TaskChain
+from repro.chains.analysis import chain_reaction_bound, chain_data_age_bound
+from repro.chains.measurement import measure_reaction_times
+
+__all__ = [
+    "TaskChain",
+    "chain_reaction_bound",
+    "chain_data_age_bound",
+    "measure_reaction_times",
+]

@@ -1,0 +1,51 @@
+"""Chain model: an ordered pipeline of tasks from one task set."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class TaskChain:
+    """A cause-effect chain ``stage_0 -> stage_1 -> ... -> stage_k``.
+
+    Stages are tasks of one per-core task set, communicating through
+    global memory: a stage's copy-out publishes its output, the next
+    stage's copy-in samples whatever is published at that moment
+    (register/LET-style asynchronous communication — no release
+    synchronisation between stages).
+
+    Attributes:
+        name: Chain identifier (for reports).
+        taskset: The task set the stages belong to.
+        stage_names: Task names in data-flow order; at least two,
+            no repeats (a task reading its own output is a cycle, not
+            a chain).
+    """
+
+    name: str
+    taskset: TaskSet
+    stage_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.stage_names) < 2:
+            raise ModelError(f"chain {self.name!r} needs at least two stages")
+        if len(set(self.stage_names)) != len(self.stage_names):
+            raise ModelError(f"chain {self.name!r} repeats a stage")
+        for stage in self.stage_names:
+            self.taskset.by_name(stage)  # raises ModelError if unknown
+
+    @property
+    def stages(self) -> tuple[Task, ...]:
+        """The stage tasks, in data-flow order."""
+        return tuple(self.taskset.by_name(n) for n in self.stage_names)
+
+    def __len__(self) -> int:
+        return len(self.stage_names)
+
+    def __repr__(self) -> str:
+        return f"TaskChain({self.name!r}: {' -> '.join(self.stage_names)})"

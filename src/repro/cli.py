@@ -1,0 +1,324 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro analyze     <taskset> [--protocol ...]  per-task WCRT bounds
+    repro simulate    <taskset> [--protocol ...]  run a simulation + Gantt
+    repro figure      <fig2a..fig2f> [--sets N]   regenerate a Fig. 2 inset
+    repro demo                                    the Fig. 1 motivating example
+    repro sensitivity <taskset> [--knob ...]      critical scaling factor
+    repro metrics     <taskset> [--protocol ...]  simulate + trace metrics
+    repro witness     <taskset> <task>            decode the worst-case window
+
+Task sets load from CSV (``name,C,l,u,T,D``) or lossless JSON
+(see :mod:`repro.io`).
+
+Task-set CSV format (header required)::
+
+    name,C,l,u,T,D
+    t0,2.0,0.4,0.4,12.0,10.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.interface import AnalysisOptions
+from repro.analysis.schedulability import PROTOCOLS, analyze_taskset
+from repro.errors import ReproError
+from repro.io import load_taskset
+from repro.experiments.config import FIGURE2_INSETS, figure2_config
+from repro.experiments.report import ascii_plot, render_sweep_table, sweep_to_csv
+from repro.experiments.runner import run_experiment
+from repro.model.taskset import TaskSet
+from repro.sim.gantt import render_gantt, summarize_responses
+from repro.sim.interval_sim import ProposedSimulator, WaslySimulator
+from repro.sim.nps_sim import NpsSimulator
+from repro.sim.releases import sporadic_plan, synchronous_plan
+
+#: Protocols with a simulator (the carry NPS variant is analysis-only).
+SIM_PROTOCOLS = ("nps", "wasly", "proposed")
+
+
+def load_taskset_csv(path: str | Path) -> TaskSet:
+    """Read a task set file (CSV by default, JSON by suffix)."""
+    return load_taskset(path)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    taskset = load_taskset_csv(args.taskset)
+    options = AnalysisOptions(
+        stop_at_deadline=not args.exact,
+        time_limit=args.time_limit,
+    )
+    result = analyze_taskset(
+        taskset,
+        args.protocol,
+        options=options,
+        method=args.method,
+        ls_policy=args.ls_policy,
+    )
+    print(f"protocol: {args.protocol} (method={args.method})")
+    print(f"{'task':<12}{'prio':>5}{'WCRT':>12}{'D':>10}  verdict")
+    for name, wcrt, deadline, ok in result.summary_rows():
+        prio = taskset.by_name(name).priority
+        verdict = "schedulable" if ok else "MISS"
+        print(f"{name:<12}{prio:>5}{wcrt:>12.3f}{deadline:>10.3f}  {verdict}")
+    print(f"task set schedulable: {result.schedulable}")
+    return 0 if result.schedulable else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    taskset = load_taskset_csv(args.taskset)
+    if args.ls:
+        taskset = taskset.with_ls_marks(args.ls.split(","))
+    simulators = {
+        "nps": NpsSimulator,
+        "wasly": WaslySimulator,
+        "proposed": ProposedSimulator,
+    }
+    sim = simulators[args.protocol](taskset)
+    if args.pattern == "synchronous":
+        plan = synchronous_plan(taskset, args.horizon)
+    else:
+        plan = sporadic_plan(
+            taskset, args.horizon, np.random.default_rng(args.seed)
+        )
+    trace = sim.run(plan)
+    print(render_gantt(trace, width=args.width, until=args.until))
+    print()
+    print(summarize_responses(trace))
+    if args.svg:
+        from repro.sim.svg import save_trace_svg
+
+        save_trace_svg(trace, args.svg, until=args.until)
+        print(f"SVG written to {args.svg}")
+    misses = trace.deadline_misses()
+    print(f"deadline misses: {len(misses)}")
+    return 0 if not misses else 1
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    config = figure2_config(
+        args.inset, sets_per_point=args.sets, seed=args.seed, method=args.method
+    )
+    options = AnalysisOptions(time_limit=args.time_limit)
+
+    def progress(point) -> None:
+        ratios = "  ".join(
+            f"{p}={point.ratios[p]:.2f}" for p in config.protocols
+        )
+        print(
+            f"  {config.x_label}={point.x:g}: {ratios} "
+            f"({point.elapsed_seconds:.1f}s)",
+            flush=True,
+        )
+
+    print(f"running {args.inset} with {args.sets} task sets per point")
+    result = run_experiment(config, options=options, progress=progress)
+    print()
+    print(render_sweep_table(result))
+    print()
+    print(ascii_plot(result))
+    if args.csv:
+        Path(args.csv).write_text(sweep_to_csv(result))
+        print(f"CSV written to {args.csv}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    # Defer to the packaged example so CLI and docs stay in sync.
+    from repro.examples_support.figure1 import run_figure1_demo
+
+    print(run_figure1_demo())
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.analysis.sensitivity import critical_scaling_factor
+
+    taskset = load_taskset(args.taskset)
+    result = critical_scaling_factor(
+        taskset,
+        knob=args.knob,
+        protocol=args.protocol,
+        method=args.method,
+        tolerance=args.tolerance,
+    )
+    print(
+        f"knob={result.knob} protocol={args.protocol}: "
+        f"critical factor {result.critical_factor:.3f} "
+        f"({result.evaluations} schedulability tests; "
+        f"schedulable at 1.0: {result.schedulable_at_one})"
+    )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.sim.metrics import compute_metrics, render_metrics
+
+    taskset = load_taskset(args.taskset)
+    if args.ls:
+        taskset = taskset.with_ls_marks(args.ls.split(","))
+    simulators = {
+        "nps": NpsSimulator,
+        "wasly": WaslySimulator,
+        "proposed": ProposedSimulator,
+    }
+    plan = sporadic_plan(
+        taskset, args.horizon, np.random.default_rng(args.seed)
+    )
+    trace = simulators[args.protocol](taskset).run(plan)
+    print(f"protocol: {args.protocol}, {plan.total_jobs} jobs simulated")
+    print(render_metrics(compute_metrics(trace)))
+    return 0
+
+
+def _cmd_witness(args: argparse.Namespace) -> int:
+    from repro.analysis.proposed.formulation import (
+        AnalysisMode,
+        build_delay_milp,
+    )
+    from repro.analysis.proposed.witness import (
+        extract_witness,
+        validate_witness,
+    )
+
+    taskset = load_taskset(args.taskset)
+    if args.ls:
+        taskset = taskset.with_ls_marks(args.ls.split(","))
+    task = taskset.by_name(args.task)
+    if task.latency_sensitive:
+        mode = AnalysisMode.LS_CASE_A
+    elif args.protocol == "wasly":
+        mode = AnalysisMode.WASLY
+    else:
+        mode = AnalysisMode.NLS
+    window = args.window
+    if window is None:
+        window = max(
+            task.deadline - task.exec_time - task.copy_out, task.copy_in
+        )
+    built = build_delay_milp(taskset, task, window, mode)
+    solution = built.model.solve()
+    witness = extract_witness(built, solution, task.name)
+    validate_witness(witness)
+    print(witness.render())
+    print(
+        f"response bound at this window: "
+        f"{solution.objective + task.copy_out:.3f} (deadline {task.deadline:g})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Predictable Memory-CPU Co-Scheduling with "
+            "Support for Latency-Sensitive Tasks' (DAC 2020)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_an = sub.add_parser("analyze", help="per-task WCRT bounds")
+    p_an.add_argument("taskset", help="task-set CSV file")
+    p_an.add_argument("--protocol", choices=PROTOCOLS, default="proposed")
+    p_an.add_argument("--method", choices=("milp", "lp", "closed_form"), default="milp")
+    p_an.add_argument(
+        "--ls-policy",
+        default="greedy",
+        help="LS policy for the proposed protocol (greedy/as_marked/...)",
+    )
+    p_an.add_argument(
+        "--exact",
+        action="store_true",
+        help="iterate past the deadline to the true fixpoint",
+    )
+    p_an.add_argument("--time-limit", type=float, default=None)
+    p_an.set_defaults(func=_cmd_analyze)
+
+    p_sim = sub.add_parser("simulate", help="simulate and draw a Gantt chart")
+    p_sim.add_argument("taskset", help="task-set CSV file")
+    p_sim.add_argument("--protocol", choices=SIM_PROTOCOLS, default="proposed")
+    p_sim.add_argument(
+        "--pattern", choices=("synchronous", "sporadic"), default="synchronous"
+    )
+    p_sim.add_argument("--horizon", type=float, default=200.0)
+    p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument("--width", type=int, default=100)
+    p_sim.add_argument("--until", type=float, default=None)
+    p_sim.add_argument(
+        "--ls", default="", help="comma-separated names to mark LS"
+    )
+    p_sim.add_argument(
+        "--svg", default="", help="also write the schedule as an SVG file"
+    )
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_fig = sub.add_parser("figure", help="regenerate a Fig. 2 inset")
+    p_fig.add_argument("inset", choices=sorted(FIGURE2_INSETS))
+    p_fig.add_argument("--sets", type=int, default=50)
+    p_fig.add_argument("--seed", type=int, default=2020)
+    p_fig.add_argument("--method", choices=("milp", "lp", "closed_form"), default="milp")
+    p_fig.add_argument("--time-limit", type=float, default=None)
+    p_fig.add_argument("--csv", default="", help="write the series to a CSV file")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_demo = sub.add_parser("demo", help="the Fig. 1 motivating example")
+    p_demo.set_defaults(func=_cmd_demo)
+
+    p_sens = sub.add_parser(
+        "sensitivity", help="critical scaling factor of a task set"
+    )
+    p_sens.add_argument("taskset")
+    p_sens.add_argument(
+        "--knob", choices=("execution", "memory", "deadline"),
+        default="execution",
+    )
+    p_sens.add_argument("--protocol", choices=PROTOCOLS, default="proposed")
+    p_sens.add_argument("--method", choices=("milp", "lp", "closed_form"),
+                        default="milp")
+    p_sens.add_argument("--tolerance", type=float, default=0.02)
+    p_sens.set_defaults(func=_cmd_sensitivity)
+
+    p_met = sub.add_parser(
+        "metrics", help="simulate and report trace metrics"
+    )
+    p_met.add_argument("taskset")
+    p_met.add_argument("--protocol", choices=SIM_PROTOCOLS, default="proposed")
+    p_met.add_argument("--horizon", type=float, default=1000.0)
+    p_met.add_argument("--seed", type=int, default=1)
+    p_met.add_argument("--ls", default="")
+    p_met.set_defaults(func=_cmd_metrics)
+
+    p_wit = sub.add_parser(
+        "witness", help="decode the MILP's worst-case schedule for a task"
+    )
+    p_wit.add_argument("taskset")
+    p_wit.add_argument("task", help="name of the task under analysis")
+    p_wit.add_argument("--protocol", choices=("proposed", "wasly"),
+                       default="proposed")
+    p_wit.add_argument("--window", type=float, default=None,
+                       help="delay window (default: deadline-induced)")
+    p_wit.add_argument("--ls", default="", help="names to mark LS")
+    p_wit.set_defaults(func=_cmd_witness)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Arrival-curve algebra.
+
+Arrival curves (:class:`ArrivalCurve`) upper-bound the number of job
+releases of a task in any time window of a given length, following the
+event-model formalism used by the paper (Sec. II). The module provides
+the standard event models (sporadic, periodic with jitter, bursty) plus
+a generic staircase curve and the algebraic operations needed by the
+analyses (sums, maxima, pseudo-inverse).
+"""
+
+from repro.curves.arrival import (
+    ArrivalCurve,
+    BurstyArrival,
+    PeriodicJitterArrival,
+    SporadicArrival,
+    StaircaseCurve,
+)
+from repro.curves.algebra import (
+    curve_max,
+    curve_min,
+    curve_sum,
+    pseudo_inverse,
+    scale,
+)
+
+__all__ = [
+    "ArrivalCurve",
+    "SporadicArrival",
+    "PeriodicJitterArrival",
+    "BurstyArrival",
+    "StaircaseCurve",
+    "curve_sum",
+    "curve_max",
+    "curve_min",
+    "scale",
+    "pseudo_inverse",
+]

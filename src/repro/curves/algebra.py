@@ -1,0 +1,81 @@
+"""Algebraic combinators over arrival curves.
+
+These operations build derived curves out of existing ones without
+sampling/re-fitting: the result wraps the operands and evaluates them
+lazily, so exactness is preserved for any window length.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.curves.arrival import ArrivalCurve
+from repro.errors import CurveError
+from repro.types import Time
+
+
+class _DerivedCurve(ArrivalCurve):
+    """Arrival curve computed pointwise from operand curves."""
+
+    __slots__ = ("_operands", "_combine", "_label")
+
+    def __init__(
+        self,
+        operands: Sequence[ArrivalCurve],
+        combine: Callable[[Sequence[int]], int],
+        label: str,
+    ) -> None:
+        if not operands:
+            raise CurveError(f"{label} of zero curves is undefined")
+        self._operands = tuple(operands)
+        self._combine = combine
+        self._label = label
+
+    def eta(self, delta: Time) -> int:
+        if delta <= 0:
+            return 0
+        return self._combine([c.eta(delta) for c in self._operands])
+
+    def eta_closed(self, delta: Time) -> int:
+        # Combine the operands' own closed-window counts so that
+        # boundary handling (and snapping) stays with each operand.
+        if delta < 0:
+            return 0
+        return self._combine([c.eta_closed(delta) for c in self._operands])
+
+    def __repr__(self) -> str:
+        return f"{self._label}({', '.join(repr(c) for c in self._operands)})"
+
+
+def curve_sum(*curves: ArrivalCurve) -> ArrivalCurve:
+    """Sum of arrival curves: total releases of independent sources."""
+    return _DerivedCurve(curves, sum, "curve_sum")
+
+
+def curve_max(*curves: ArrivalCurve) -> ArrivalCurve:
+    """Pointwise maximum: a bound valid for whichever source is active."""
+    return _DerivedCurve(curves, max, "curve_max")
+
+
+def curve_min(*curves: ArrivalCurve) -> ArrivalCurve:
+    """Pointwise minimum: intersect independent upper bounds."""
+    return _DerivedCurve(curves, min, "curve_min")
+
+
+def scale(curve: ArrivalCurve, factor: int) -> ArrivalCurve:
+    """Multiply a curve by a positive integer factor.
+
+    Models ``factor`` identical sources sharing one event model.
+    """
+    if factor <= 0:
+        raise CurveError(f"scale factor must be positive, got {factor}")
+    return _DerivedCurve([curve], lambda vals: factor * vals[0], f"scale[{factor}]")
+
+
+def pseudo_inverse(curve: ArrivalCurve, n: int) -> Time:
+    """Smallest window length whose curve value reaches ``n`` events.
+
+    Convenience wrapper over :meth:`ArrivalCurve.delta_min`, exposed as
+    a free function for symmetry with the other combinators.
+    """
+    return curve.delta_min(n)

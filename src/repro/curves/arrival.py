@@ -1,0 +1,310 @@
+"""Arrival-curve event models.
+
+An arrival curve ``eta`` maps a window length ``delta`` to the maximum
+number of release events that can fall into *any* half-open time window
+of that length. The convention follows the paper (Sec. II):
+
+* ``eta(0) == 0`` — a zero-length window contains no release;
+* curves are non-decreasing and integer-valued;
+* a sporadic task with minimum inter-arrival ``T`` has
+  ``eta(delta) = ceil(delta / T)``.
+
+Busy-window style analyses often need the number of releases in a
+*closed* window ``[0, delta]`` assuming a release at time 0; that is
+``eta_closed(delta) = eta(delta + eps)`` and is provided as a method so
+call sites do not sprinkle epsilons around.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.errors import CurveError
+from repro.types import TIME_EPS, Time
+
+
+class ArrivalCurve(ABC):
+    """Upper bound on the number of releases in any window of length delta."""
+
+    @abstractmethod
+    def eta(self, delta: Time) -> int:
+        """Maximum number of releases in any half-open window of ``delta``."""
+
+    def eta_closed(self, delta: Time) -> int:
+        """Maximum releases in a closed window ``[0, delta]``.
+
+        Equals ``eta(delta + eps)``: the closed window additionally
+        captures a release sitting exactly on the window boundary.
+        """
+        return self.eta(delta + TIME_EPS)
+
+    def __call__(self, delta: Time) -> int:
+        return self.eta(delta)
+
+    def delta_min(self, n: int) -> Time:
+        """Pseudo-inverse: the smallest window length with ``eta >= n``.
+
+        Generic implementation by doubling + bisection on top of
+        :meth:`eta`; subclasses override with closed forms.
+        """
+        if n <= 0:
+            return 0.0
+        lo, hi = 0.0, 1.0
+        while self.eta(hi) < n:
+            hi *= 2.0
+            if hi > 1e15:
+                raise CurveError(f"delta_min({n}) diverges for {self!r}")
+        for _ in range(200):
+            mid = (lo + hi) / 2.0
+            if self.eta(mid) >= n:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def earliest_release(self, q: int) -> Time:
+        """Earliest possible release time of job ``q`` (0-based).
+
+        Assuming job 0 is released at time 0, returns the smallest
+        ``r`` such that ``eta_closed(r) >= q + 1``: the event model
+        cannot release the ``(q+1)``-th event any earlier. Used by
+        busy-window analyses to convert finish times into response
+        times. Generic implementation by bisection; subclasses with a
+        closed form override it.
+        """
+        if q <= 0:
+            return 0.0
+        lo, hi = 0.0, 1.0
+        while self.eta_closed(hi) < q + 1:
+            hi *= 2.0
+            if hi > 1e15:
+                raise CurveError(f"earliest_release({q}) diverges for {self!r}")
+        for _ in range(200):
+            mid = (lo + hi) / 2.0
+            if self.eta_closed(mid) >= q + 1:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def validate(self, probe_points: Sequence[Time] = (0.0, 1.0, 10.0, 100.0)) -> None:
+        """Check basic sanity (eta(0)=0, monotone over the probe points)."""
+        if self.eta(0.0) != 0:
+            raise CurveError(f"{self!r}: eta(0) must be 0")
+        values = [self.eta(p) for p in probe_points]
+        if any(b < a for a, b in zip(values, values[1:])):
+            raise CurveError(f"{self!r}: eta is not monotone on {probe_points}")
+
+
+def _floor_div_closed(delta: Time, period: Time) -> int:
+    """``floor(delta / period)`` where exact multiples stay exact.
+
+    Used by closed-window counts: a release sitting exactly on the
+    window boundary is included, and floating-point noise within
+    ``TIME_EPS`` of a multiple is treated as exactly the multiple.
+    """
+    raw = delta / period
+    nearest = round(raw)
+    if abs(raw - nearest) <= TIME_EPS * max(1.0, abs(nearest)):
+        return int(nearest)
+    return int(math.floor(raw))
+
+
+def _ceil_div(delta: Time, period: Time) -> int:
+    """``ceil(delta / period)`` robust to floating-point noise.
+
+    ``delta`` values arrive from response-time iterations and may sit a
+    hair above an exact multiple of ``period``; snapping within
+    ``TIME_EPS`` avoids spuriously counting one extra release.
+    """
+    raw = delta / period
+    nearest = round(raw)
+    if abs(raw - nearest) <= TIME_EPS * max(1.0, abs(nearest)):
+        return int(nearest)
+    return int(math.ceil(raw))
+
+
+class SporadicArrival(ArrivalCurve):
+    """Sporadic event model: releases separated by at least ``period``.
+
+    ``eta(delta) = ceil(delta / period)`` — the model used for every
+    task in the paper's evaluation (Sec. VII).
+    """
+
+    __slots__ = ("period",)
+
+    def __init__(self, period: Time) -> None:
+        if period <= 0:
+            raise CurveError(f"period must be positive, got {period}")
+        self.period = float(period)
+
+    def eta(self, delta: Time) -> int:
+        if delta <= 0:
+            return 0
+        return _ceil_div(delta, self.period)
+
+    def eta_closed(self, delta: Time) -> int:
+        if delta < 0:
+            return 0
+        return _floor_div_closed(delta, self.period) + 1
+
+    def delta_min(self, n: int) -> Time:
+        if n <= 0:
+            return 0.0
+        # The margin must exceed the snapping tolerance of _ceil_div so
+        # that eta(delta_min(n)) really evaluates to n.
+        margin = 4 * TIME_EPS * max(1.0, float(n)) * max(1.0, self.period)
+        return (n - 1) * self.period + margin
+
+    def earliest_release(self, q: int) -> Time:
+        if q <= 0:
+            return 0.0
+        return q * self.period
+
+    def __repr__(self) -> str:
+        return f"SporadicArrival(period={self.period})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SporadicArrival) and other.period == self.period
+
+    def __hash__(self) -> int:
+        return hash(("sporadic", self.period))
+
+
+class PeriodicJitterArrival(ArrivalCurve):
+    """Periodic-with-jitter event model.
+
+    ``eta(delta) = ceil((delta + jitter) / period)`` for ``delta > 0``.
+    With ``jitter == 0`` this coincides with :class:`SporadicArrival`
+    numerically but models a strictly periodic source.
+    """
+
+    __slots__ = ("period", "jitter")
+
+    def __init__(self, period: Time, jitter: Time = 0.0) -> None:
+        if period <= 0:
+            raise CurveError(f"period must be positive, got {period}")
+        if jitter < 0:
+            raise CurveError(f"jitter must be non-negative, got {jitter}")
+        self.period = float(period)
+        self.jitter = float(jitter)
+
+    def eta(self, delta: Time) -> int:
+        if delta <= 0:
+            return 0
+        return _ceil_div(delta + self.jitter, self.period)
+
+    def eta_closed(self, delta: Time) -> int:
+        if delta < 0:
+            return 0
+        return _floor_div_closed(delta + self.jitter, self.period) + 1
+
+    def __repr__(self) -> str:
+        return f"PeriodicJitterArrival(period={self.period}, jitter={self.jitter})"
+
+
+class BurstyArrival(ArrivalCurve):
+    """Periodic/jitter/minimum-distance ("PJd") bursty event model.
+
+    Releases follow a period ``period`` with release jitter ``jitter``
+    but consecutive events are always separated by at least ``d_min``:
+
+    ``eta(delta) = min(ceil((delta + jitter) / period), ceil(delta / d_min))``
+    """
+
+    __slots__ = ("period", "jitter", "d_min")
+
+    def __init__(self, period: Time, jitter: Time, d_min: Time) -> None:
+        if period <= 0 or d_min <= 0:
+            raise CurveError("period and d_min must be positive")
+        if jitter < 0:
+            raise CurveError("jitter must be non-negative")
+        if d_min > period:
+            raise CurveError("d_min larger than period would under-count bursts")
+        self.period = float(period)
+        self.jitter = float(jitter)
+        self.d_min = float(d_min)
+
+    def eta(self, delta: Time) -> int:
+        if delta <= 0:
+            return 0
+        periodic = _ceil_div(delta + self.jitter, self.period)
+        burst_limited = _ceil_div(delta, self.d_min)
+        return min(periodic, burst_limited)
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstyArrival(period={self.period}, jitter={self.jitter}, "
+            f"d_min={self.d_min})"
+        )
+
+
+class StaircaseCurve(ArrivalCurve):
+    """Arbitrary staircase arrival curve given as ``(delta, count)`` steps.
+
+    ``steps`` lists the window lengths at which the curve jumps *to*
+    the associated count; between steps the curve is flat. Beyond the
+    last step the curve grows with slope ``tail_rate`` events per
+    ``tail_period`` (defaults to repeating the last inter-step gap), so
+    the curve stays a valid long-run bound.
+    """
+
+    __slots__ = ("_steps", "_tail_period", "_tail_count")
+
+    def __init__(
+        self,
+        steps: Sequence[tuple[Time, int]],
+        tail_period: Time | None = None,
+        tail_count: int = 1,
+    ) -> None:
+        if not steps:
+            raise CurveError("StaircaseCurve needs at least one step")
+        ordered = sorted((float(d), int(c)) for d, c in steps)
+        prev_d, prev_c = -1.0, 0
+        for d, c in ordered:
+            if d < 0:
+                raise CurveError("step positions must be non-negative")
+            if d == prev_d:
+                raise CurveError(f"duplicate step position {d}")
+            if c < prev_c:
+                raise CurveError("step counts must be non-decreasing")
+            prev_d, prev_c = d, c
+        self._steps = ordered
+        if tail_period is None:
+            if len(ordered) >= 2:
+                tail_period = ordered[-1][0] - ordered[-2][0]
+            else:
+                tail_period = max(ordered[-1][0], 1.0)
+        if tail_period <= TIME_EPS:
+            raise CurveError(
+                f"tail_period must exceed {TIME_EPS} (got {tail_period}); "
+                "degenerate tails would make the curve numerically unusable"
+            )
+        if tail_count <= 0:
+            raise CurveError("tail_count must be positive")
+        self._tail_period = float(tail_period)
+        self._tail_count = int(tail_count)
+
+    def eta(self, delta: Time) -> int:
+        if delta <= 0:
+            return 0
+        last_d, last_c = self._steps[-1]
+        if delta > last_d:
+            extra_periods = _ceil_div(delta - last_d, self._tail_period)
+            return last_c + extra_periods * self._tail_count
+        # Curve value at delta: the count of the last step at or before
+        # delta, where a step at exactly `delta` is included (a window
+        # of length delta can capture an event at its open end minus
+        # epsilon... the staircase is defined left-continuous here).
+        count = 0
+        for d, c in self._steps:
+            if d <= delta:
+                count = c
+            else:
+                break
+        return count
+
+    def __repr__(self) -> str:
+        return f"StaircaseCurve(steps={self._steps!r})"

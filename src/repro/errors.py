@@ -1,0 +1,62 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All exceptions raised by the library derive from :class:`ReproError`,
+so callers can catch library failures with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """Raised when a task, task set, or platform description is invalid."""
+
+
+class CurveError(ReproError):
+    """Raised when an arrival curve is constructed or queried incorrectly."""
+
+
+class SolverError(ReproError):
+    """Raised when a MILP backend fails (infeasible model, bad status...)."""
+
+
+class InfeasibleModelError(SolverError):
+    """Raised when a MILP that is expected to be feasible is not.
+
+    The schedulability MILPs built by :mod:`repro.analysis` are feasible
+    by construction; infeasibility indicates a formulation bug and is
+    therefore surfaced loudly instead of being treated as a result.
+    """
+
+
+class UnboundedModelError(SolverError):
+    """Raised when the MILP objective is unbounded.
+
+    An unbounded delay-maximisation MILP means a constraint is missing:
+    the analysis would otherwise silently report an infinite (useless
+    but "safe") delay bound.
+    """
+
+
+class AnalysisError(ReproError):
+    """Raised when a schedulability analysis is misused.
+
+    Examples: analysing a task that is not part of the supplied task
+    set, or requesting the LS analysis for a task not marked LS.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulator reaches an invalid state."""
+
+
+class PartitioningError(ReproError):
+    """Raised when tasks cannot be partitioned onto the platform cores."""
+
+
+class ExperimentError(ReproError):
+    """Raised for invalid experiment configurations."""

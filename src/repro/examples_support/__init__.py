@@ -1,0 +1,9 @@
+"""Reusable scenario builders shared by examples, CLI, and benchmarks."""
+
+from repro.examples_support.figure1 import (
+    figure1_plan,
+    figure1_taskset,
+    run_figure1_demo,
+)
+
+__all__ = ["figure1_taskset", "figure1_plan", "run_figure1_demo"]

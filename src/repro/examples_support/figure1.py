@@ -1,0 +1,92 @@
+"""The motivating example of the paper's Fig. 1, reconstructed.
+
+A task ``ti`` under analysis is released while two lower-priority tasks
+are pending. Under protocol [3] the double-buffering pipeline commits
+to *both* lower-priority tasks before ``ti`` can be loaded — two
+blocking intervals — and ``ti`` misses its deadline. Under plain
+non-preemptive scheduling only the in-flight job blocks it, and it
+meets the deadline comfortably. The proposed protocol cancels the
+second lower-priority copy-in on ``ti``'s release (R3), promotes ``ti``
+to urgent (R4), and meets the deadline while still using the DMA for
+everything else.
+
+The exact numbers of Fig. 1 are not printed in the paper; this
+reconstruction preserves the structure (who blocks whom, and the
+miss/meet outcomes of the three approaches).
+"""
+
+from __future__ import annotations
+
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.sim.gantt import render_gantt, summarize_responses
+from repro.sim.interval_sim import ProposedSimulator, WaslySimulator
+from repro.sim.nps_sim import NpsSimulator
+from repro.sim.releases import ReleasePlan
+
+#: Release time of the task under analysis (mid-interval, while the
+#: copy-in of the second lower-priority task is pending).
+TI_RELEASE = 2.5
+
+
+def figure1_taskset(mark_ls: bool = False) -> TaskSet:
+    """The four tasks of the scenario.
+
+    ``tp`` is the "previously-executed task" of the figure (it warms up
+    the pipeline so a lower-priority task is already loaded when ``ti``
+    arrives); ``lp1``/``lp2`` are the two blockers.
+    """
+    tasks = [
+        Task.sporadic("tp", exec_time=1.0, period=100.0, deadline=100.0,
+                      copy_in=1.0, copy_out=1.0, priority=0),
+        Task.sporadic("ti", exec_time=2.0, period=50.0, deadline=8.0,
+                      copy_in=1.0, copy_out=1.0, priority=1,
+                      latency_sensitive=mark_ls),
+        Task.sporadic("lp1", exec_time=4.0, period=100.0, deadline=100.0,
+                      copy_in=1.0, copy_out=1.0, priority=2),
+        Task.sporadic("lp2", exec_time=3.0, period=100.0, deadline=100.0,
+                      copy_in=1.0, copy_out=1.0, priority=3),
+    ]
+    return TaskSet(tasks)
+
+
+def figure1_plan() -> ReleasePlan:
+    """Releases: the pipeline warm-up at 0, ``ti`` mid-interval."""
+    return ReleasePlan(
+        releases={
+            "tp": (0.0,),
+            "lp1": (0.0,),
+            "lp2": (0.0,),
+            "ti": (TI_RELEASE,),
+        },
+        horizon=30.0,
+    )
+
+
+def run_figure1_demo(width: int = 90) -> str:
+    """Simulate the scenario under all three approaches and report."""
+    plan = figure1_plan()
+    sections = []
+    scenarios = [
+        ("Fig. 1(a) — protocol [3]", WaslySimulator(figure1_taskset())),
+        ("Fig. 1(b) — non-preemptive scheduling", NpsSimulator(figure1_taskset())),
+        ("proposed protocol (ti marked LS)",
+         ProposedSimulator(figure1_taskset(mark_ls=True))),
+    ]
+    for title, simulator in scenarios:
+        trace = simulator.run(plan)
+        response = trace.max_response_time("ti")
+        deadline = figure1_taskset().by_name("ti").deadline
+        verdict = "MEETS" if response <= deadline + 1e-9 else "MISSES"
+        sections.append(
+            "\n".join(
+                [
+                    f"=== {title} ===",
+                    render_gantt(trace, width=width, until=14.0),
+                    summarize_responses(trace),
+                    f"ti response {response:.2f} vs deadline {deadline:g} "
+                    f"-> {verdict}",
+                ]
+            )
+        )
+    return "\n\n".join(sections)

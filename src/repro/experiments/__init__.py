@@ -1,0 +1,41 @@
+"""Experiment harness regenerating the paper's evaluation (Fig. 2)."""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    SweepPoint,
+    figure2_config,
+    FIGURE2_INSETS,
+)
+from repro.experiments.runner import (
+    PointResult,
+    SweepResult,
+    run_experiment,
+    run_point,
+)
+from repro.experiments.report import (
+    ascii_plot,
+    render_sweep_table,
+    sweep_to_csv,
+)
+from repro.experiments.multicore import (
+    MulticoreConfig,
+    MulticoreResult,
+    run_multicore_point,
+)
+
+__all__ = [
+    "MulticoreConfig",
+    "MulticoreResult",
+    "run_multicore_point",
+    "ExperimentConfig",
+    "SweepPoint",
+    "figure2_config",
+    "FIGURE2_INSETS",
+    "PointResult",
+    "SweepResult",
+    "run_experiment",
+    "run_point",
+    "ascii_plot",
+    "render_sweep_table",
+    "sweep_to_csv",
+]

@@ -1,0 +1,162 @@
+"""Multicore experiments: partitioned schedulability at system scale.
+
+The paper analyses each core in isolation after a static partitioning
+(Sec. II). This module provides the system-level experiment the
+platform model enables: generate a global workload, partition it onto
+``m`` cores with a bin-packing heuristic, and call the whole system
+schedulable when *every* core's task set passes the per-core analysis.
+Sweeping the global utilisation (or the core count) shows how the
+protocols scale beyond a single core.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.analysis.interface import AnalysisOptions
+from repro.analysis.schedulability import is_schedulable
+from repro.errors import ExperimentError, PartitioningError
+from repro.generator.periods import log_uniform_periods
+from repro.generator.uunifast import uunifast_discard
+from repro.model.partitioning import Heuristic, partition_tasks
+from repro.model.platform import Platform
+from repro.model.task import Task
+
+
+@dataclass(frozen=True)
+class MulticoreConfig:
+    """One multicore experiment configuration.
+
+    Attributes:
+        num_cores: Cores on the platform.
+        n_tasks: Global number of tasks.
+        total_utilization: Global execution utilisation (may exceed 1).
+        gamma: Memory intensity (``l = u = gamma * C``).
+        beta: Deadline-tightness parameter.
+        heuristic: Partitioning heuristic.
+        protocols: Protocols compared per core.
+        method: Analysis method for the interval protocols.
+    """
+
+    num_cores: int = 4
+    n_tasks: int = 16
+    total_utilization: float = 1.2
+    gamma: float = 0.2
+    beta: float = 0.5
+    heuristic: Heuristic = "worst_fit"
+    protocols: tuple[str, ...] = ("nps_carry", "wasly", "proposed")
+    method: str = "milp"
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0 or self.n_tasks <= 0:
+            raise ExperimentError("num_cores and n_tasks must be positive")
+        if self.total_utilization <= 0:
+            raise ExperimentError("total_utilization must be positive")
+
+
+@dataclass(frozen=True)
+class MulticoreResult:
+    """Ratios of fully-schedulable systems per protocol."""
+
+    config: MulticoreConfig
+    ratios: Mapping[str, float]
+    partition_failures: int
+    systems_evaluated: int
+    elapsed_seconds: float = field(default=0.0)
+
+
+def _generate_global_taskset(
+    config: MulticoreConfig, rng: np.random.Generator
+) -> list[Task]:
+    periods = log_uniform_periods(config.n_tasks, rng)
+    utils = uunifast_discard(
+        config.n_tasks,
+        config.total_utilization,
+        rng,
+        # Memory phases ride on top of C; keep per-task total below one
+        # core's capacity so the workload is partitionable in principle.
+        max_task_utilization=min(1.0, 0.95 / (1 + 2 * config.gamma)),
+    )
+    tasks = []
+    for i, (period, util) in enumerate(zip(periods, utils)):
+        exec_time = period * util
+        memory = config.gamma * exec_time
+        d_low = min(exec_time + config.beta * (period - exec_time), period)
+        deadline = float(rng.uniform(d_low, period))
+        tasks.append(
+            Task.sporadic(
+                f"t{i}",
+                exec_time=exec_time,
+                copy_in=memory,
+                copy_out=memory,
+                period=period,
+                deadline=deadline,
+                priority=i,  # re-assigned per core after partitioning
+            )
+        )
+    return tasks
+
+
+def _per_core_priorities(tasks: list[Task]) -> list[Task]:
+    """Deadline-monotonic unique priorities within one core."""
+    ordered = sorted(tasks, key=lambda t: (t.deadline, t.name))
+    return [task.with_priority(p) for p, task in enumerate(ordered)]
+
+
+def run_multicore_point(
+    config: MulticoreConfig,
+    systems: int,
+    seed: int,
+    options: AnalysisOptions | None = None,
+) -> MulticoreResult:
+    """Evaluate ``systems`` random multicore workloads.
+
+    A system counts as schedulable for a protocol when the partitioning
+    succeeds and every non-empty core passes that protocol's per-core
+    schedulability test. Partitioning failures count against every
+    protocol (they share the partitioning stage).
+    """
+    if systems <= 0:
+        raise ExperimentError("systems must be positive")
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    platform = Platform.homogeneous(config.num_cores)
+    accepted = {p: 0 for p in config.protocols}
+    partition_failures = 0
+
+    for _ in range(systems):
+        tasks = _generate_global_taskset(config, rng)
+        try:
+            partitioning = partition_tasks(
+                tasks, platform, heuristic=config.heuristic
+            )
+        except PartitioningError:
+            partition_failures += 1
+            continue
+        core_sets = []
+        for core_tasks in partitioning.assignments:
+            if core_tasks is None:
+                continue
+            from repro.model.taskset import TaskSet
+
+            core_sets.append(TaskSet(_per_core_priorities(list(core_tasks))))
+        for protocol in config.protocols:
+            if all(
+                is_schedulable(
+                    core_set, protocol, options=options, method=config.method
+                )
+                for core_set in core_sets
+            ):
+                accepted[protocol] += 1
+
+    return MulticoreResult(
+        config=config,
+        ratios={p: accepted[p] / systems for p in config.protocols},
+        partition_failures=partition_failures,
+        systems_evaluated=systems,
+        elapsed_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,148 @@
+"""Persistence for experiment results.
+
+Long sweeps are expensive; this module serialises a
+:class:`~repro.experiments.runner.SweepResult` to JSON (losslessly for
+the ratio data and the generation parameters) so partial runs can be
+archived, reloaded for re-plotting, and merged — e.g. two 25-set runs
+with disjoint seeds combine into one 50-set series.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig, SweepPoint
+from repro.experiments.runner import PointResult, SweepResult
+from repro.generator.taskset_gen import GenerationConfig
+
+_FORMAT_VERSION = 1
+
+
+def sweep_to_dict(result: SweepResult) -> dict:
+    """Plain-dict representation of a sweep result."""
+    config = result.config
+    return {
+        "format_version": _FORMAT_VERSION,
+        "config": {
+            "name": config.name,
+            "x_label": config.x_label,
+            "sets_per_point": config.sets_per_point,
+            "seed": config.seed,
+            "protocols": list(config.protocols),
+            "ls_policy": config.ls_policy,
+            "method": config.method,
+            "points": [
+                {
+                    "x": point.x,
+                    "generation": dataclasses.asdict(point.generation),
+                }
+                for point in config.points
+            ],
+        },
+        "points": [
+            {
+                "x": point.x,
+                "ratios": dict(point.ratios),
+                "sets_evaluated": point.sets_evaluated,
+                "elapsed_seconds": point.elapsed_seconds,
+            }
+            for point in result.points
+        ],
+    }
+
+
+def sweep_from_dict(payload: dict) -> SweepResult:
+    """Rebuild a sweep result from :func:`sweep_to_dict` output."""
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ExperimentError(
+            f"unsupported sweep format {payload.get('format_version')!r}"
+        )
+    raw = payload["config"]
+    config = ExperimentConfig(
+        name=raw["name"],
+        x_label=raw["x_label"],
+        points=tuple(
+            SweepPoint(p["x"], GenerationConfig(**p["generation"]))
+            for p in raw["points"]
+        ),
+        sets_per_point=raw["sets_per_point"],
+        seed=raw["seed"],
+        protocols=tuple(raw["protocols"]),
+        ls_policy=raw["ls_policy"],
+        method=raw["method"],
+    )
+    points = tuple(
+        PointResult(
+            x=p["x"],
+            ratios=p["ratios"],
+            sets_evaluated=p["sets_evaluated"],
+            elapsed_seconds=p["elapsed_seconds"],
+        )
+        for p in payload["points"]
+    )
+    return SweepResult(config=config, points=points)
+
+
+def save_sweep(result: SweepResult, path: str | Path) -> None:
+    """Write a sweep result to a JSON file."""
+    Path(path).write_text(json.dumps(sweep_to_dict(result), indent=2))
+
+
+def load_sweep(path: str | Path) -> SweepResult:
+    """Read a sweep result from a JSON file."""
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"sweep file not found: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"invalid sweep JSON: {exc}") from exc
+    return sweep_from_dict(payload)
+
+
+def merge_sweeps(a: SweepResult, b: SweepResult) -> SweepResult:
+    """Pool two runs of the same experiment into one larger sample.
+
+    The runs must share the experiment definition (name, sweep points,
+    protocols, method) but should use different seeds — the merged
+    ratios are the sample-size-weighted averages.
+    """
+    ca, cb = a.config, b.config
+    if (
+        ca.name != cb.name
+        or ca.x_label != cb.x_label
+        or [p.x for p in ca.points] != [p.x for p in cb.points]
+        or ca.protocols != cb.protocols
+        or ca.method != cb.method
+    ):
+        raise ExperimentError("cannot merge results of different experiments")
+    if ca.seed == cb.seed:
+        raise ExperimentError(
+            "refusing to merge runs with the same seed: the samples are "
+            "identical, not independent"
+        )
+    merged_points = []
+    for pa, pb in zip(a.points, b.points):
+        total = pa.sets_evaluated + pb.sets_evaluated
+        merged_points.append(
+            PointResult(
+                x=pa.x,
+                ratios={
+                    protocol: (
+                        pa.ratios[protocol] * pa.sets_evaluated
+                        + pb.ratios[protocol] * pb.sets_evaluated
+                    )
+                    / total
+                    for protocol in ca.protocols
+                },
+                sets_evaluated=total,
+                elapsed_seconds=pa.elapsed_seconds + pb.elapsed_seconds,
+            )
+        )
+    merged_config = dataclasses.replace(
+        ca, sets_per_point=ca.sets_per_point + cb.sets_per_point
+    )
+    return SweepResult(config=merged_config, points=tuple(merged_points))

@@ -1,0 +1,81 @@
+"""Reporting: CSV export, tables, and ASCII plots of sweep results.
+
+No plotting library is available offline, so figures are rendered as
+fixed-width ASCII charts — one mark per protocol — which is enough to
+eyeball the crossovers and gaps the paper describes.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.experiments.runner import SweepResult
+
+#: Plot marks per protocol, in drawing order (later overdraws earlier).
+_MARKS = {"nps": "n", "nps_carry": "n", "wasly": "w", "proposed": "P"}
+
+
+def sweep_to_csv(result: SweepResult) -> str:
+    """Serialise a sweep as CSV (x column + one column per protocol)."""
+    protocols = list(result.config.protocols)
+    out = io.StringIO()
+    out.write(",".join([result.config.x_label, *protocols, "sets", "seconds"]))
+    out.write("\n")
+    for point in result.points:
+        row = [f"{point.x:g}"]
+        row += [f"{point.ratios[p]:.4f}" for p in protocols]
+        row.append(str(point.sets_evaluated))
+        row.append(f"{point.elapsed_seconds:.2f}")
+        out.write(",".join(row) + "\n")
+    return out.getvalue()
+
+
+def render_sweep_table(result: SweepResult) -> str:
+    """Human-readable table of the sweep's schedulability ratios."""
+    protocols = list(result.config.protocols)
+    header = f"{result.config.x_label:>8} | " + " | ".join(
+        f"{p:>9}" for p in protocols
+    )
+    lines = [f"experiment {result.config.name}", header, "-" * len(header)]
+    for point in result.points:
+        cells = " | ".join(f"{point.ratios[p]:>9.3f}" for p in protocols)
+        lines.append(f"{point.x:>8g} | {cells}")
+    for protocol in protocols:
+        if protocol == "proposed":
+            continue
+        gap = result.advantage("proposed", protocol)
+        lines.append(f"max advantage of proposed over {protocol}: {gap:+.3f}")
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    result: SweepResult, width: int = 64, height: int = 16
+) -> str:
+    """Render the sweep as an ASCII chart (ratio on y in [0, 1])."""
+    grid = [[" "] * width for _ in range(height)]
+    xs = result.x_values
+    x_min, x_max = min(xs), max(xs)
+    span = (x_max - x_min) or 1.0
+
+    def col(x: float) -> int:
+        return min(width - 1, int(round((x - x_min) / span * (width - 1))))
+
+    def row(ratio: float) -> int:
+        return min(height - 1, int(round((1.0 - ratio) * (height - 1))))
+
+    for protocol in result.config.protocols:
+        mark = _MARKS.get(protocol, protocol[0].upper())
+        for x, ratio in result.series(protocol):
+            grid[row(ratio)][col(x)] = mark
+
+    lines = [f"{result.config.name}: schedulability ratio vs {result.config.x_label}"]
+    for r, cells in enumerate(grid):
+        ratio_label = 1.0 - r / (height - 1)
+        lines.append(f"{ratio_label:>5.2f} |" + "".join(cells))
+    lines.append("      +" + "-" * width)
+    lines.append(f"       {x_min:<10g}{'':^{max(0, width - 22)}}{x_max:>10g}")
+    legend = ", ".join(
+        f"{_MARKS.get(p, p[0].upper())}={p}" for p in result.config.protocols
+    )
+    lines.append(f"       marks: {legend}")
+    return "\n".join(lines)

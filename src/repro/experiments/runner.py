@@ -1,0 +1,115 @@
+"""Sweep runner: schedulability ratios per protocol per point."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.analysis.interface import AnalysisOptions
+from repro.analysis.schedulability import is_schedulable
+from repro.experiments.config import ExperimentConfig, SweepPoint
+from repro.generator.taskset_gen import generate_tasksets
+from repro.model.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Schedulability ratios of all protocols at one sweep point."""
+
+    x: float
+    ratios: Mapping[str, float]
+    sets_evaluated: int
+    elapsed_seconds: float
+
+    def ratio(self, protocol: str) -> float:
+        return self.ratios[protocol]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full experiment's series, one :class:`PointResult` per point."""
+
+    config: ExperimentConfig
+    points: tuple[PointResult, ...]
+
+    def series(self, protocol: str) -> list[tuple[float, float]]:
+        """``(x, ratio)`` pairs of one protocol across the sweep."""
+        return [(p.x, p.ratios[protocol]) for p in self.points]
+
+    @property
+    def x_values(self) -> list[float]:
+        return [p.x for p in self.points]
+
+    def advantage(self, protocol: str, over: str) -> float:
+        """Largest ratio gap of ``protocol`` over ``over`` (paper-style
+        "improvements up to X%" statements)."""
+        return max(
+            p.ratios[protocol] - p.ratios[over] for p in self.points
+        )
+
+
+def run_point(
+    point: SweepPoint,
+    config: ExperimentConfig,
+    seed: int,
+    options: AnalysisOptions | None = None,
+) -> PointResult:
+    """Evaluate every protocol on the same task sets at one point."""
+    start = time.perf_counter()
+    tasksets = list(
+        generate_tasksets(point.generation, config.sets_per_point, seed)
+    )
+    counts = {protocol: 0 for protocol in config.protocols}
+    for taskset in tasksets:
+        for protocol in config.protocols:
+            if is_schedulable(
+                taskset,
+                protocol,
+                options=options,
+                method=config.method,
+                ls_policy=config.ls_policy,
+            ):
+                counts[protocol] += 1
+    total = len(tasksets)
+    return PointResult(
+        x=point.x,
+        ratios={p: counts[p] / total for p in config.protocols},
+        sets_evaluated=total,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    options: AnalysisOptions | None = None,
+    progress: Callable[[PointResult], None] | None = None,
+) -> SweepResult:
+    """Run a full sweep (all points, all protocols, shared task sets).
+
+    Args:
+        config: The experiment definition.
+        options: Analysis options (e.g. per-MILP time limits).
+        progress: Optional callback invoked after each point, for
+            long-running CLI feedback.
+    """
+    results = []
+    for index, point in enumerate(config.points):
+        result = run_point(point, config, seed=config.seed + index, options=options)
+        if progress is not None:
+            progress(result)
+        results.append(result)
+    return SweepResult(config=config, points=tuple(results))
+
+
+def compare_on_taskset(
+    taskset: TaskSet,
+    protocols: tuple[str, ...] = ("nps", "wasly", "proposed"),
+    options: AnalysisOptions | None = None,
+    method: str = "milp",
+) -> dict[str, bool]:
+    """Verdicts of several protocols on one concrete task set."""
+    return {
+        protocol: is_schedulable(taskset, protocol, options=options, method=method)
+        for protocol in protocols
+    }

@@ -1,0 +1,20 @@
+"""Random workload generation matching the paper's Sec. VII setup."""
+
+from repro.generator.uunifast import uunifast, uunifast_discard
+from repro.generator.periods import log_uniform_periods
+from repro.generator.taskset_gen import (
+    GenerationConfig,
+    generate_taskset,
+    generate_tasksets,
+)
+from repro.generator.footprints import generate_platform_taskset
+
+__all__ = [
+    "uunifast",
+    "uunifast_discard",
+    "log_uniform_periods",
+    "GenerationConfig",
+    "generate_taskset",
+    "generate_tasksets",
+    "generate_platform_taskset",
+]

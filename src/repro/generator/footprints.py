@@ -1,0 +1,87 @@
+"""Platform-aware generation: derive copy phases from memory footprints.
+
+An alternative to the paper's abstract ``l = u = gamma * C`` model:
+draw a local-memory footprint per task, check it against the platform's
+partition size, and derive the copy-phase durations from the DMA
+bandwidth. Used by the multicore partitioning example to exercise the
+platform model end-to-end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.generator.periods import log_uniform_periods
+from repro.generator.uunifast import uunifast_discard
+from repro.model.platform import Core, copy_times_from_footprint
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+
+def generate_platform_taskset(
+    n: int,
+    utilization: float,
+    core: Core,
+    rng: np.random.Generator,
+    footprint_low: int = 4 * 1024,
+    footprint_high: int | None = None,
+    output_fraction: float = 0.25,
+    period_low: float = 10.0,
+    period_high: float = 100.0,
+) -> TaskSet:
+    """Draw a task set whose memory phases follow from footprints.
+
+    Args:
+        n: Number of tasks.
+        utilization: Total execution-phase utilisation.
+        core: The core whose partition size and DMA bandwidth apply.
+        rng: Seeded random generator.
+        footprint_low: Smallest footprint in bytes.
+        footprint_high: Largest footprint; defaults to the partition
+            size (everything generated is guaranteed to fit).
+        output_fraction: Fraction of the footprint written back in the
+            copy-out phase.
+        period_low: Log-uniform period range lower bound.
+        period_high: Log-uniform period range upper bound.
+    """
+    if footprint_high is None:
+        footprint_high = core.memory.partition_bytes
+    if not 0 < footprint_low <= footprint_high:
+        raise ExperimentError("invalid footprint range")
+    if footprint_high > core.memory.partition_bytes:
+        raise ExperimentError("footprints cannot exceed the partition size")
+    if not 0.0 < output_fraction <= 1.0:
+        raise ExperimentError("output_fraction must be in (0, 1]")
+
+    periods = log_uniform_periods(n, rng, period_low, period_high)
+    utilizations = uunifast_discard(n, utilization, rng)
+    entries = []
+    for idx, (period, util) in enumerate(zip(periods, utilizations)):
+        exec_time = period * util
+        footprint = int(rng.integers(footprint_low, footprint_high + 1))
+        output_bytes = max(1, int(footprint * output_fraction))
+        copy_in, copy_out = copy_times_from_footprint(
+            footprint, output_bytes, core
+        )
+        deadline = float(rng.uniform(max(exec_time, period * 0.5), period))
+        entries.append(
+            (idx, exec_time, copy_in, copy_out, period, deadline, footprint)
+        )
+
+    order = sorted(range(n), key=lambda i: (entries[i][5], i))
+    priority_of = {task_idx: prio for prio, task_idx in enumerate(order)}
+    tasks = [
+        Task.sporadic(
+            name=f"t{idx}",
+            exec_time=exec_time,
+            copy_in=copy_in,
+            copy_out=copy_out,
+            period=period,
+            deadline=deadline,
+            priority=priority_of[idx],
+            footprint=footprint,
+        )
+        for idx, exec_time, copy_in, copy_out, period, deadline, footprint in entries
+    ]
+    return TaskSet(tasks)

@@ -1,0 +1,27 @@
+"""Period generation: log-uniform over [10, 100] ms (paper Sec. VII)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+def log_uniform_periods(
+    n: int,
+    rng: np.random.Generator,
+    low: float = 10.0,
+    high: float = 100.0,
+) -> list[float]:
+    """Draw ``n`` periods log-uniformly from ``[low, high]``.
+
+    A log-uniform draw spreads periods evenly across orders of
+    magnitude, the standard choice for real-time workload generation
+    (and the paper's: log-uniform in [10, 100] ms).
+    """
+    if n <= 0:
+        raise ExperimentError(f"n must be positive, got {n}")
+    if not 0 < low <= high:
+        raise ExperimentError(f"need 0 < low <= high, got [{low}, {high}]")
+    exponents = rng.uniform(np.log(low), np.log(high), size=n)
+    return [float(p) for p in np.exp(exponents)]

@@ -1,0 +1,117 @@
+"""Random task-set factory following the paper's Sec. VII recipe.
+
+For each configuration: periods ``T_i`` log-uniform in [10, 100] ms,
+utilisations by UUnifast, ``C_i = T_i * U_i``, memory phases
+``l_i = u_i = gamma * C_i``, deadlines
+``D_i ~ U[C_i + beta*(T_i - C_i), T_i]``, and unique
+deadline-monotonic priorities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.generator.periods import log_uniform_periods
+from repro.generator.uunifast import uunifast_discard
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Parameters of one random-workload configuration.
+
+    Attributes:
+        n: Tasks per set.
+        utilization: Total execution-phase utilisation ``U``.
+        gamma: Memory-intensity: ``l = u = gamma * C`` (paper: 0.1-0.5).
+        beta: Deadline-tightness: ``D ~ U[C + beta(T-C), T]`` — smaller
+            means tighter deadlines (paper inset (f)).
+        period_low: Lower bound of the log-uniform period range (ms).
+        period_high: Upper bound of the log-uniform period range (ms).
+        max_task_utilization: Per-task cap (UUnifast-discard).
+    """
+
+    n: int = 6
+    utilization: float = 0.5
+    gamma: float = 0.3
+    beta: float = 0.5
+    period_low: float = 10.0
+    period_high: float = 100.0
+    max_task_utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ExperimentError("n must be positive")
+        if self.utilization <= 0:
+            raise ExperimentError("utilization must be positive")
+        if self.gamma < 0:
+            raise ExperimentError("gamma must be non-negative")
+        if not 0.0 <= self.beta <= 1.0:
+            raise ExperimentError("beta must be in [0, 1]")
+        if not 0 < self.period_low <= self.period_high:
+            raise ExperimentError("invalid period range")
+
+    def with_(self, **overrides) -> "GenerationConfig":
+        """A copy with some fields replaced (sweep helper)."""
+        return replace(self, **overrides)
+
+
+def generate_taskset(
+    config: GenerationConfig, rng: np.random.Generator
+) -> TaskSet:
+    """Draw one random task set per the paper's recipe.
+
+    Deadlines below a task's total cost are kept (such a task is
+    unschedulable under every protocol — see
+    :attr:`repro.model.Task.trivially_unschedulable`), matching the
+    paper's generation, which does not reject them either.
+    """
+    periods = log_uniform_periods(
+        config.n, rng, config.period_low, config.period_high
+    )
+    utilizations = uunifast_discard(
+        config.n, config.utilization, rng, config.max_task_utilization
+    )
+    rows = []
+    for idx, (period, util) in enumerate(zip(periods, utilizations)):
+        exec_time = period * util
+        memory = config.gamma * exec_time
+        # beta = 1 makes the lower edge equal the period; clamp against
+        # floating-point overshoot so the uniform draw stays valid.
+        d_low = min(exec_time + config.beta * (period - exec_time), period)
+        deadline = float(rng.uniform(d_low, period))
+        rows.append((idx, exec_time, memory, period, deadline))
+
+    # Deadline-monotonic unique priorities (ties broken by index).
+    order = sorted(range(config.n), key=lambda i: (rows[i][4], i))
+    priority_of = {task_idx: prio for prio, task_idx in enumerate(order)}
+
+    tasks = [
+        Task.sporadic(
+            name=f"t{idx}",
+            exec_time=exec_time,
+            copy_in=memory,
+            copy_out=memory,
+            period=period,
+            deadline=deadline,
+            priority=priority_of[idx],
+        )
+        for idx, exec_time, memory, period, deadline in rows
+    ]
+    return TaskSet(tasks)
+
+
+def generate_tasksets(
+    config: GenerationConfig, count: int, seed: int
+) -> Iterator[TaskSet]:
+    """Yield ``count`` independent task sets from a seeded stream."""
+    if count <= 0:
+        raise ExperimentError("count must be positive")
+    rng = np.random.default_rng(seed)
+    for _ in range(count):
+        yield generate_taskset(config, rng)

@@ -1,0 +1,66 @@
+"""UUnifast utilisation generation [18].
+
+UUnifast draws ``n`` task utilisations summing exactly to ``U`` with a
+uniform distribution over the valid simplex — the standard unbiased
+generator for schedulability experiments, used by the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+def uunifast(
+    n: int, total_utilization: float, rng: np.random.Generator
+) -> list[float]:
+    """Draw ``n`` utilisations summing to ``total_utilization``.
+
+    Args:
+        n: Number of tasks (positive).
+        total_utilization: Target sum (positive).
+        rng: NumPy random generator (seeded by the caller).
+
+    Returns:
+        A list of ``n`` positive floats summing to the target.
+    """
+    if n <= 0:
+        raise ExperimentError(f"n must be positive, got {n}")
+    if total_utilization <= 0:
+        raise ExperimentError(
+            f"total utilisation must be positive, got {total_utilization}"
+        )
+    utilizations: list[float] = []
+    remaining = total_utilization
+    for i in range(1, n):
+        next_remaining = remaining * rng.random() ** (1.0 / (n - i))
+        utilizations.append(remaining - next_remaining)
+        remaining = next_remaining
+    utilizations.append(remaining)
+    return utilizations
+
+
+def uunifast_discard(
+    n: int,
+    total_utilization: float,
+    rng: np.random.Generator,
+    max_task_utilization: float = 1.0,
+    max_attempts: int = 10_000,
+) -> list[float]:
+    """UUnifast with rejection of per-task utilisations above a cap.
+
+    For single-core experiments with ``U <= 1`` the cap never triggers,
+    but the variant is needed when generating multicore workloads with
+    ``U > 1`` (a single task cannot exceed one core).
+    """
+    if max_task_utilization <= 0:
+        raise ExperimentError("max_task_utilization must be positive")
+    for _ in range(max_attempts):
+        candidate = uunifast(n, total_utilization, rng)
+        if max(candidate) <= max_task_utilization:
+            return candidate
+    raise ExperimentError(
+        f"could not draw {n} utilisations summing to {total_utilization} "
+        f"with per-task cap {max_task_utilization} in {max_attempts} attempts"
+    )

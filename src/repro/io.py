@@ -1,0 +1,148 @@
+"""Task-set serialisation: CSV and JSON.
+
+CSV carries the evaluation-style sporadic parameters only
+(``name,C,l,u,T,D`` — what the CLI consumes); JSON is lossless for
+sporadic task sets including priorities, LS marks, and footprints.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+import json
+from pathlib import Path
+
+from repro.errors import ModelError
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+CSV_COLUMNS = ("name", "C", "l", "u", "T", "D")
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+def taskset_to_csv(taskset: TaskSet) -> str:
+    """Serialise sporadic parameters as CSV (priorities are implied
+    deadline-monotonically on load; LS marks are not carried)."""
+    out = _io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(CSV_COLUMNS)
+    for task in taskset:
+        writer.writerow(
+            [
+                task.name,
+                task.exec_time,
+                task.copy_in,
+                task.copy_out,
+                task.period,
+                task.deadline,
+            ]
+        )
+    return out.getvalue()
+
+
+def taskset_from_csv(text: str) -> TaskSet:
+    """Parse the CSV format (header required)."""
+    reader = csv.DictReader(_io.StringIO(text))
+    if reader.fieldnames is None or not set(CSV_COLUMNS) <= set(
+        reader.fieldnames
+    ):
+        raise ModelError(f"CSV must have columns {list(CSV_COLUMNS)}")
+    rows = []
+    for record in reader:
+        try:
+            rows.append(
+                (
+                    record["name"],
+                    float(record["C"]),
+                    float(record["l"]),
+                    float(record["u"]),
+                    float(record["T"]),
+                    float(record["D"]),
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            raise ModelError(f"malformed CSV row {record!r}: {exc}") from exc
+    if not rows:
+        raise ModelError("CSV contains no tasks")
+    return TaskSet.from_parameters(rows)
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def taskset_to_json(taskset: TaskSet, indent: int = 2) -> str:
+    """Lossless JSON for sporadic task sets."""
+    payload = {
+        "tasks": [
+            {
+                "name": task.name,
+                "exec_time": task.exec_time,
+                "copy_in": task.copy_in,
+                "copy_out": task.copy_out,
+                "period": task.period,
+                "deadline": task.deadline,
+                "priority": task.priority,
+                "latency_sensitive": task.latency_sensitive,
+                "footprint": task.footprint,
+            }
+            for task in taskset
+        ]
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def taskset_from_json(text: str) -> TaskSet:
+    """Parse the JSON format produced by :func:`taskset_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelError(f"invalid JSON: {exc}") from exc
+    entries = payload.get("tasks")
+    if not isinstance(entries, list) or not entries:
+        raise ModelError("JSON must contain a non-empty 'tasks' list")
+    tasks = []
+    for entry in entries:
+        try:
+            tasks.append(
+                Task.sporadic(
+                    name=entry["name"],
+                    exec_time=float(entry["exec_time"]),
+                    copy_in=float(entry.get("copy_in", 0.0)),
+                    copy_out=float(entry.get("copy_out", 0.0)),
+                    period=float(entry["period"]),
+                    deadline=float(entry["deadline"]),
+                    priority=int(entry["priority"]),
+                    latency_sensitive=bool(
+                        entry.get("latency_sensitive", False)
+                    ),
+                    footprint=entry.get("footprint"),
+                )
+            )
+        except KeyError as exc:
+            raise ModelError(f"task entry missing field {exc}") from exc
+    return TaskSet(tasks)
+
+
+# ----------------------------------------------------------------------
+# file helpers
+# ----------------------------------------------------------------------
+def load_taskset(path: str | Path) -> TaskSet:
+    """Load a task set from a ``.csv`` or ``.json`` file by suffix."""
+    path = Path(path)
+    if not path.exists():
+        raise ModelError(f"task-set file not found: {path}")
+    text = path.read_text()
+    if path.suffix.lower() == ".json":
+        return taskset_from_json(text)
+    return taskset_from_csv(text)
+
+
+def save_taskset(taskset: TaskSet, path: str | Path) -> None:
+    """Save a task set as ``.csv`` or ``.json`` by suffix."""
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        path.write_text(taskset_to_json(taskset))
+    else:
+        path.write_text(taskset_to_csv(taskset))

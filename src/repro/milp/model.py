@@ -1,0 +1,203 @@
+"""The MILP model container and its matrix compilation.
+
+:class:`MilpModel` registers variables and constraints built with
+:mod:`repro.milp.expr` and compiles them into the dense/NumPy matrix
+form that both backends consume. Maximisation is canonical (the
+analyses maximise delay); minimisation is expressed by negating the
+objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.milp.expr import Constraint, ExprLike, LinExpr, Var
+from repro.milp.solution import MilpSolution
+
+
+@dataclass(frozen=True)
+class CompiledMilp:
+    """Matrix form of a model: maximise ``c @ x + c0`` s.t. rows/bounds."""
+
+    objective: np.ndarray
+    objective_constant: float
+    row_matrix: np.ndarray
+    row_lower: np.ndarray
+    row_upper: np.ndarray
+    var_lower: np.ndarray
+    var_upper: np.ndarray
+    integrality: np.ndarray
+    variables: tuple[Var, ...]
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_rows(self) -> int:
+        return self.row_matrix.shape[0]
+
+
+class MilpModel:
+    """A mixed-integer linear program under construction."""
+
+    def __init__(self, name: str = "milp") -> None:
+        self.name = name
+        self._vars: list[Var] = []
+        self._names: set[str] = set()
+        self._constraints: list[Constraint] = []
+        self._objective: LinExpr = LinExpr()
+        self._sense_max = True
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+    def var(
+        self,
+        name: str,
+        lower: float = 0.0,
+        upper: float = float("inf"),
+        integer: bool = False,
+    ) -> Var:
+        """Create and register a variable."""
+        if name in self._names:
+            raise SolverError(f"duplicate variable name {name!r}")
+        v = Var(name, lower, upper, integer, index=len(self._vars))
+        self._vars.append(v)
+        self._names.add(name)
+        return v
+
+    def binary(self, name: str) -> Var:
+        """Create a {0,1} variable."""
+        return self.var(name, 0.0, 1.0, integer=True)
+
+    def continuous(self, name: str, lower: float = 0.0, upper: float = float("inf")) -> Var:
+        """Create a continuous variable (non-negative by default)."""
+        return self.var(name, lower, upper, integer=False)
+
+    @property
+    def variables(self) -> tuple[Var, ...]:
+        return tuple(self._vars)
+
+    @property
+    def constraints(self) -> tuple[Constraint, ...]:
+        return tuple(self._constraints)
+
+    # ------------------------------------------------------------------
+    # constraints and objective
+    # ------------------------------------------------------------------
+    def add(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Add a constraint (optionally naming it for diagnostics)."""
+        if not isinstance(constraint, Constraint):
+            raise SolverError(
+                f"expected a Constraint, got {type(constraint).__name__}; "
+                "did a comparison produce a bool?"
+            )
+        for var in constraint.expr.terms:
+            if var.index >= len(self._vars) or self._vars[var.index] is not var:
+                raise SolverError(
+                    f"constraint uses variable {var.name!r} from another model"
+                )
+        if name:
+            constraint.named(name)
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_all(self, constraints: Iterable[Constraint], prefix: str = "") -> None:
+        """Add several constraints, numbering them under ``prefix``."""
+        for i, con in enumerate(constraints):
+            self.add(con, f"{prefix}[{i}]" if prefix else "")
+
+    def maximize(self, expr: ExprLike) -> None:
+        """Set a maximisation objective."""
+        self._objective = LinExpr.from_(expr)
+        self._sense_max = True
+
+    def minimize(self, expr: ExprLike) -> None:
+        """Set a minimisation objective."""
+        self._objective = LinExpr.from_(expr)
+        self._sense_max = False
+
+    @property
+    def objective(self) -> LinExpr:
+        return self._objective
+
+    @property
+    def is_maximization(self) -> bool:
+        return self._sense_max
+
+    # ------------------------------------------------------------------
+    # compilation / solving
+    # ------------------------------------------------------------------
+    def compile(self) -> CompiledMilp:
+        """Lower the model to matrix form (canonical sense: maximise)."""
+        n = len(self._vars)
+        if n == 0:
+            raise SolverError("model has no variables")
+        c = np.zeros(n)
+        for var, coef in self._objective.terms.items():
+            c[var.index] = coef
+        if not self._sense_max:
+            c = -c
+        rows = np.zeros((len(self._constraints), n))
+        row_lower = np.empty(len(self._constraints))
+        row_upper = np.empty(len(self._constraints))
+        for r, con in enumerate(self._constraints):
+            for var, coef in con.expr.terms.items():
+                rows[r, var.index] = coef
+            row_lower[r], row_upper[r] = con.bounds()
+        return CompiledMilp(
+            objective=c,
+            objective_constant=(
+                self._objective.constant
+                if self._sense_max
+                else -self._objective.constant
+            ),
+            row_matrix=rows,
+            row_lower=row_lower,
+            row_upper=row_upper,
+            var_lower=np.array([v.lower for v in self._vars]),
+            var_upper=np.array([v.upper for v in self._vars]),
+            integrality=np.array(
+                [1 if v.integer else 0 for v in self._vars], dtype=int
+            ),
+            variables=tuple(self._vars),
+        )
+
+    def solve(self, backend: "MilpBackend | None" = None) -> MilpSolution:
+        """Solve with the given backend (HiGHS by default)."""
+        if backend is None:
+            from repro.milp.highs import HighsBackend
+
+            backend = HighsBackend()
+        return backend.solve(self)
+
+    def check_assignment(
+        self, values: Sequence[float], tol: float = 1e-6
+    ) -> list[Constraint]:
+        """Return the constraints violated by a candidate assignment."""
+        if len(values) != len(self._vars):
+            raise SolverError("assignment length mismatch")
+        mapping = {v: float(values[v.index]) for v in self._vars}
+        return [c for c in self._constraints if not c.satisfied(mapping, tol)]
+
+    def stats(self) -> dict[str, int]:
+        """Model size summary (variables/binaries/constraints)."""
+        return {
+            "variables": len(self._vars),
+            "integers": sum(1 for v in self._vars if v.integer),
+            "constraints": len(self._constraints),
+        }
+
+
+class MilpBackend:
+    """Interface implemented by MILP solving backends."""
+
+    name = "abstract"
+
+    def solve(self, model: MilpModel) -> MilpSolution:
+        raise NotImplementedError

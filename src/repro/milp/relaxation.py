@@ -1,0 +1,71 @@
+"""LP-relaxation backend.
+
+Solves a model with all integrality constraints dropped. For a
+*maximisation* the relaxed optimum upper-bounds the MILP optimum, so —
+for the delay analyses in this package — the result is still a safe
+(more pessimistic) delay bound at a fraction of the cost: one LP solve,
+no branching. Used as the middle tier of the verdict pipeline
+(closed form → LP → MILP) and as an ablation axis.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.milp.model import MilpBackend, MilpModel
+from repro.milp.solution import MilpSolution, SolveStatus
+
+_STATUS = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.TIME_LIMIT,
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+class LpRelaxationBackend(MilpBackend):
+    """Solve the LP relaxation (integrality dropped) with HiGHS."""
+
+    name = "lp_relaxation"
+
+    def solve(self, model: MilpModel) -> MilpSolution:
+        compiled = model.compile()
+        constraints = None
+        if compiled.num_rows:
+            constraints = LinearConstraint(
+                compiled.row_matrix, compiled.row_lower, compiled.row_upper
+            )
+        start = time.perf_counter()
+        result = milp(
+            c=-compiled.objective,
+            constraints=constraints,
+            bounds=Bounds(compiled.var_lower, compiled.var_upper),
+            integrality=np.zeros(compiled.num_vars, dtype=int),
+        )
+        if result.status == 4:
+            result = milp(
+                c=-compiled.objective,
+                constraints=constraints,
+                bounds=Bounds(compiled.var_lower, compiled.var_upper),
+                integrality=np.zeros(compiled.num_vars, dtype=int),
+                options={"presolve": False},
+            )
+        elapsed = time.perf_counter() - start
+        status = _STATUS.get(result.status, SolveStatus.ERROR)
+        if not status.has_solution or result.x is None:
+            return MilpSolution(
+                status=status, runtime_seconds=elapsed, backend=self.name
+            )
+        x = np.asarray(result.x, dtype=float)
+        return MilpSolution(
+            status=status,
+            objective=float(compiled.objective @ x)
+            + compiled.objective_constant,
+            values={var: float(x[var.index]) for var in compiled.variables},
+            runtime_seconds=elapsed,
+            backend=self.name,
+        )

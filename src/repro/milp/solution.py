@@ -1,0 +1,67 @@
+"""Solver-independent solution and status types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.milp.expr import Var
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a MILP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIME_LIMIT = "time_limit"
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        """Whether variable values/objective are available."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.TIME_LIMIT)
+
+
+@dataclass(frozen=True)
+class MilpSolution:
+    """Result of solving a :class:`repro.milp.MilpModel`.
+
+    Attributes:
+        status: Solve outcome.
+        objective: Objective value; meaningful when ``status.has_solution``.
+        values: Assignment of each model variable (by :class:`Var`).
+        runtime_seconds: Wall-clock time spent in the backend.
+        backend: Name of the backend that produced the solution.
+        node_count: Branch-and-bound nodes explored (if reported).
+    """
+
+    status: SolveStatus
+    objective: float = float("nan")
+    values: Mapping[Var, float] = field(default_factory=dict)
+    runtime_seconds: float = 0.0
+    backend: str = ""
+    node_count: int | None = None
+
+    def __getitem__(self, var: Var) -> float:
+        return self.values[var]
+
+    def value_by_name(self, name: str) -> float:
+        """Look a variable's value up by its name."""
+        for var, val in self.values.items():
+            if var.name == name:
+                return val
+        raise KeyError(name)
+
+    def binaries_set(self, tol: float = 1e-6) -> tuple[str, ...]:
+        """Names of integer variables whose value rounds to 1.
+
+        Useful when inspecting which schedule structure the delay
+        maximisation selected.
+        """
+        return tuple(
+            var.name
+            for var, val in self.values.items()
+            if var.integer and abs(val - 1.0) <= tol
+        )

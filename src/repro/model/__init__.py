@@ -1,0 +1,27 @@
+"""Task, task-set, and platform models (paper Sec. II)."""
+
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.model.platform import (
+    Core,
+    DmaEngine,
+    LocalMemory,
+    Platform,
+    copy_times_from_footprint,
+)
+from repro.model.partitioning import (
+    PartitioningResult,
+    partition_tasks,
+)
+
+__all__ = [
+    "Task",
+    "TaskSet",
+    "Core",
+    "DmaEngine",
+    "LocalMemory",
+    "Platform",
+    "copy_times_from_footprint",
+    "PartitioningResult",
+    "partition_tasks",
+]

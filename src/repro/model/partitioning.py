@@ -1,0 +1,114 @@
+"""Static task-to-core partitioning heuristics.
+
+The paper assumes tasks are statically partitioned to cores and
+analyses each core in isolation (Sec. II). This module provides the
+classical bin-packing heuristics used to produce such partitions, so
+the multicore story is end-to-end: generate tasks, partition them,
+analyse each core with any of the three analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Literal, Sequence
+
+from repro.errors import PartitioningError
+from repro.model.platform import Platform
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+Heuristic = Literal["first_fit", "best_fit", "worst_fit"]
+
+
+@dataclass(frozen=True)
+class PartitioningResult:
+    """Outcome of a partitioning run.
+
+    Attributes:
+        assignments: One task set per core, index-aligned with the
+            platform's cores. Cores that received no task hold ``None``.
+        heuristic: The heuristic that produced the assignment.
+    """
+
+    assignments: tuple[TaskSet | None, ...]
+    heuristic: Heuristic
+
+    @property
+    def per_core_utilization(self) -> tuple[float, ...]:
+        """Execution-phase utilisation of each core."""
+        return tuple(
+            ts.utilization if ts is not None else 0.0 for ts in self.assignments
+        )
+
+    def core_of(self, task: Task) -> int:
+        """Index of the core the task was assigned to."""
+        for idx, ts in enumerate(self.assignments):
+            if ts is not None and task in ts:
+                return idx
+        raise PartitioningError(f"{task.name!r} was not assigned to any core")
+
+
+def _capacity_left(bin_util: float, cap: float, task: Task) -> float:
+    return cap - bin_util - task.total_utilization
+
+
+def partition_tasks(
+    tasks: Iterable[Task],
+    platform: Platform,
+    heuristic: Heuristic = "first_fit",
+    capacity: float = 1.0,
+    sort_decreasing: bool = True,
+) -> PartitioningResult:
+    """Partition tasks onto the platform's cores by utilisation.
+
+    Tasks are considered in decreasing total-utilisation order by
+    default ("-decreasing" variants of the heuristics), and a task fits
+    a core when the core's accumulated *total* utilisation (including
+    memory phases, since on a single DMA+CPU pair both sides consume
+    bandwidth) stays at or below ``capacity``. Footprint feasibility is
+    also enforced when tasks declare footprints.
+
+    Raises:
+        PartitioningError: When some task fits no core.
+    """
+    if not 0 < capacity <= 1.0:
+        raise PartitioningError(f"capacity must be in (0, 1], got {capacity}")
+    task_list = list(tasks)
+    if sort_decreasing:
+        task_list.sort(key=lambda t: t.total_utilization, reverse=True)
+
+    bins: list[list[Task]] = [[] for _ in platform.cores]
+    utils = [0.0 for _ in platform.cores]
+
+    def eligible(core_idx: int, task: Task) -> bool:
+        if not platform.cores[core_idx].memory.fits(task):
+            return False
+        return _capacity_left(utils[core_idx], capacity, task) >= -1e-12
+
+    pickers: dict[Heuristic, Callable[[Sequence[int], Task], int]] = {
+        "first_fit": lambda idxs, _t: idxs[0],
+        "best_fit": lambda idxs, t: min(
+            idxs, key=lambda i: _capacity_left(utils[i], capacity, t)
+        ),
+        "worst_fit": lambda idxs, t: max(
+            idxs, key=lambda i: _capacity_left(utils[i], capacity, t)
+        ),
+    }
+    if heuristic not in pickers:
+        raise PartitioningError(f"unknown heuristic {heuristic!r}")
+    pick = pickers[heuristic]
+
+    for task in task_list:
+        candidates = [i for i in range(platform.num_cores) if eligible(i, task)]
+        if not candidates:
+            raise PartitioningError(
+                f"{task.name!r} (U_total={task.total_utilization:.3f}) fits no core"
+            )
+        chosen = pick(candidates, task)
+        bins[chosen].append(task)
+        utils[chosen] += task.total_utilization
+
+    assignments = tuple(
+        TaskSet(bin_tasks) if bin_tasks else None for bin_tasks in bins
+    )
+    return PartitioningResult(assignments=assignments, heuristic=heuristic)

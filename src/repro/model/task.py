@@ -1,0 +1,142 @@
+"""The three-phase task model of the paper (Sec. II).
+
+A task is characterised by the worst-case durations of its three
+phases — copy-in ``l`` (load from global to local memory), execution
+``C`` (contention-free, local-memory only), copy-out ``u`` (store back
+to global memory) — plus a release model (an arrival curve), a relative
+deadline ``D`` and a unique fixed priority. Lower numeric priority
+value means higher scheduling priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.curves import ArrivalCurve, SporadicArrival
+from repro.errors import ModelError
+from repro.types import Priority, Time
+
+
+@dataclass(frozen=True)
+class Task:
+    """An independent sporadic real-time task with three-phase execution.
+
+    Attributes:
+        name: Human-readable unique identifier.
+        exec_time: Worst-case duration ``C_i`` of the execution phase.
+        copy_in: Worst-case duration ``l_i`` of the copy-in phase.
+        copy_out: Worst-case duration ``u_i`` of the copy-out phase.
+        deadline: Relative deadline ``D_i``.
+        priority: Unique fixed priority (lower value = higher priority).
+        arrivals: Arrival curve ``eta_i`` bounding release events.
+        latency_sensitive: Whether the task is in ``Gamma_LS``.
+        footprint: Optional local-memory footprint in bytes; checked
+            against memory-partition sizes when a platform is supplied.
+    """
+
+    name: str
+    exec_time: Time
+    copy_in: Time
+    copy_out: Time
+    deadline: Time
+    priority: Priority
+    arrivals: ArrivalCurve
+    latency_sensitive: bool = False
+    footprint: int | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("task name must be non-empty")
+        if self.exec_time <= 0:
+            raise ModelError(f"{self.name}: exec_time must be positive")
+        if self.copy_in < 0 or self.copy_out < 0:
+            raise ModelError(f"{self.name}: copy phases must be non-negative")
+        if self.deadline <= 0:
+            raise ModelError(f"{self.name}: deadline must be positive")
+        if self.footprint is not None and self.footprint <= 0:
+            raise ModelError(f"{self.name}: footprint must be positive")
+
+    @staticmethod
+    def sporadic(
+        name: str,
+        exec_time: Time,
+        period: Time,
+        deadline: Time | None = None,
+        copy_in: Time = 0.0,
+        copy_out: Time = 0.0,
+        priority: Priority = 0,
+        latency_sensitive: bool = False,
+        footprint: int | None = None,
+    ) -> "Task":
+        """Build a sporadic task (the event model of the evaluation)."""
+        return Task(
+            name=name,
+            exec_time=exec_time,
+            copy_in=copy_in,
+            copy_out=copy_out,
+            deadline=period if deadline is None else deadline,
+            priority=priority,
+            arrivals=SporadicArrival(period),
+            latency_sensitive=latency_sensitive,
+            footprint=footprint,
+        )
+
+    @property
+    def total_cost(self) -> Time:
+        """Serialised cost ``l_i + C_i + u_i`` (what NPS executes)."""
+        return self.copy_in + self.exec_time + self.copy_out
+
+    @property
+    def trivially_unschedulable(self) -> bool:
+        """``D < l + C + u``: unschedulable under every protocol.
+
+        Every compared approach finishes a job no earlier than
+        ``l + C + u`` after its release (the copy-in may be hidden
+        behind *other* work, but a job's own response always spans its
+        three phases). The paper's deadline generation
+        (``D ~ U[C + beta(T - C), T]``) can produce such tasks for
+        small ``beta`` and large ``gamma``; they count as unschedulable
+        for all protocols rather than being rejected at generation.
+        """
+        return self.deadline < self.total_cost - 1e-12
+
+    @property
+    def period(self) -> Time:
+        """Minimum inter-arrival time, when the event model has one."""
+        if isinstance(self.arrivals, SporadicArrival):
+            return self.arrivals.period
+        period = getattr(self.arrivals, "period", None)
+        if period is None:
+            raise ModelError(f"{self.name}: arrival curve has no period")
+        return float(period)
+
+    @property
+    def utilization(self) -> float:
+        """Execution-phase utilisation ``C_i / T_i`` (paper Sec. VII)."""
+        return self.exec_time / self.period
+
+    @property
+    def total_utilization(self) -> float:
+        """Utilisation including memory phases: ``(l+C+u)/T``."""
+        return self.total_cost / self.period
+
+    def as_latency_sensitive(self, flag: bool = True) -> "Task":
+        """Return a copy with the LS flag set (tasks are immutable)."""
+        if self.latency_sensitive == flag:
+            return self
+        return replace(self, latency_sensitive=flag)
+
+    def with_priority(self, priority: Priority) -> "Task":
+        """Return a copy with a different priority."""
+        return replace(self, priority=priority)
+
+    def eta(self, delta: Time) -> int:
+        """Shorthand for ``self.arrivals.eta(delta)``."""
+        return self.arrivals.eta(delta)
+
+    def __repr__(self) -> str:
+        tag = "LS" if self.latency_sensitive else "NLS"
+        return (
+            f"Task({self.name!r}, C={self.exec_time}, l={self.copy_in}, "
+            f"u={self.copy_out}, D={self.deadline}, prio={self.priority}, {tag})"
+        )

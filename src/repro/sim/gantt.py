@@ -1,0 +1,123 @@
+"""ASCII Gantt rendering of simulation traces.
+
+Draws the two timelines of the interval protocols (CPU and DMA) — or
+the single CPU timeline of NPS — as fixed-width text, the format used
+to reproduce the motivating example of Fig. 1 in the examples and
+benchmarks (no plotting library is required offline).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.trace import Trace
+from repro.types import Time
+
+
+def _paint(row: list[str], start: Time, end: Time, scale: float, label: str) -> None:
+    a = int(round(start * scale))
+    b = max(a + 1, int(round(end * scale)))
+    b = min(b, len(row))
+    for pos in range(a, b):
+        if 0 <= pos < len(row):
+            row[pos] = "#"
+    # Overlay the label inside the bar when it fits.
+    text = label[: max(0, b - a)]
+    for offset, ch in enumerate(text):
+        pos = a + offset
+        if 0 <= pos < len(row):
+            row[pos] = ch
+
+
+def render_gantt(
+    trace: Trace,
+    width: int = 100,
+    until: Time | None = None,
+) -> str:
+    """Render a trace as an ASCII chart.
+
+    Args:
+        trace: A simulation trace.
+        width: Character width of the time axis.
+        until: Time horizon to draw (defaults to the last event).
+
+    Returns:
+        A multi-line string: a CPU row, a DMA row (when the protocol
+        uses one), interval boundaries, and a time axis.
+    """
+    events: list[Time] = []
+    for job in trace.jobs:
+        for value in (job.copy_out_end, job.exec_end, job.copy_in_end):
+            if value is not None:
+                events.append(value)
+    horizon = until if until is not None else (max(events) if events else 1.0)
+    if horizon <= 0:
+        horizon = 1.0
+    scale = width / horizon
+
+    cpu = [" "] * width
+    dma = [" "] * width
+    marks = [" "] * width
+
+    for job in trace.jobs:
+        if job.exec_start is not None and job.exec_start < horizon:
+            if job.copy_in_by == "cpu" and job.copy_in_start is not None:
+                _paint(cpu, job.copy_in_start, job.copy_in_end, scale, f"<{job.name}")
+            _paint(cpu, job.exec_start, job.exec_end, scale, job.name)
+        if (
+            job.copy_in_by == "dma"
+            and job.copy_in_start is not None
+            and job.copy_in_start < horizon
+        ):
+            _paint(dma, job.copy_in_start, job.copy_in_end, scale, f"v{job.name}")
+        for a, b in job.cancelled_copy_ins:
+            if a < horizon and b > a:
+                _paint(dma, a, b, scale, f"x{job.name}")
+        if job.copy_out_start is not None and job.copy_out_start < horizon:
+            _paint(dma, job.copy_out_start, job.copy_out_end, scale, f"^{job.name}")
+
+    for interval in trace.intervals:
+        pos = int(round(interval.start * scale))
+        if 0 <= pos < width:
+            marks[pos] = "|"
+
+    axis = [" "] * width
+    step = max(1.0, round(horizon / 10))
+    tick = 0.0
+    while tick <= horizon:
+        pos = int(round(tick * scale))
+        label = f"{tick:g}"
+        for offset, ch in enumerate(label):
+            if pos + offset < width:
+                axis[pos + offset] = ch
+        tick += step
+
+    lines = [f"protocol: {trace.protocol}   (time 0..{horizon:g})"]
+    lines.append("CPU |" + "".join(cpu))
+    if trace.intervals or any(j.copy_in_by == "dma" for j in trace.jobs):
+        lines.append("DMA |" + "".join(dma))
+    if trace.intervals:
+        lines.append("ivl |" + "".join(marks))
+    lines.append("    |" + "".join(axis))
+    legend = (
+        "legend: name=execution, vX=copy-in, ^X=copy-out, xX=cancelled, "
+        "<X=urgent CPU copy-in, |=interval start"
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def summarize_responses(trace: Trace) -> str:
+    """Tabular per-task summary: max response vs deadline."""
+    rows = ["task        max-response   deadline   ok"]
+    by_task: dict[str, Time] = trace.response_times()
+    deadlines = {j.task.name: j.task.deadline for j in trace.jobs}
+    for name in sorted(by_task):
+        response = by_task[name]
+        deadline = deadlines[name]
+        if math.isinf(response):
+            rows.append(f"{name:<12}{'n/a':>12}{deadline:>11.2f}   -")
+        else:
+            ok = "yes" if response <= deadline + 1e-9 else "NO"
+            rows.append(f"{name:<12}{response:>12.2f}{deadline:>11.2f}   {ok}")
+    return "\n".join(rows)

@@ -1,0 +1,265 @@
+"""Interval-based protocol simulators ([3] and the proposed protocol).
+
+Both protocols share the double-buffered interval structure of
+Sec. III-A / IV: at each interval start the two local-memory partitions
+swap (R1), the DMA first copies out the previous occupant's output and
+then copies in the highest-priority ready task (R2), the CPU executes
+the task loaded during the previous interval, and the interval lasts as
+long as the longer of the two (R6).
+
+The proposed protocol adds the latency-sensitive machinery:
+
+* **R3** — an LS release cancels the copy-in of any lower-priority
+  task within the current interval: pending (not yet started),
+  in progress (aborted at the release instant), or already completed
+  but not yet executing (the loaded data is discarded; the DMA time is
+  wasted either way). The eviction of a completed-but-unstarted load
+  is required for the paper's Property 4 — its proof asserts that a
+  lower-priority task can never execute in the interval following an
+  LS release — and costs nothing extra (the data sits unused in the
+  DMA partition). The cancelled task returns to the ready queue.
+* **R4** — at the end of an interval in which a copy-in was cancelled
+  or none ran, the highest-priority LS task released *inside* that
+  interval becomes urgent.
+* **R5** — an urgent task's copy-in is performed by the CPU itself,
+  immediately followed by its execution (total ``l + C`` on the CPU).
+
+:class:`WaslySimulator` is the same engine with the LS machinery off,
+which is exactly protocol [3].
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.errors import SimulationError
+from repro.model.taskset import TaskSet
+from repro.sim.releases import ReleasePlan
+from repro.sim.trace import Interval, Job, Trace
+from repro.types import TIME_EPS
+
+
+class _IntervalEngine:
+    """Shared interval-protocol engine; ``ls_rules`` toggles R3-R5."""
+
+    protocol = "interval"
+    ls_rules = False
+
+    def __init__(self, taskset: TaskSet) -> None:
+        self.taskset = taskset
+
+    # ------------------------------------------------------------------
+    def run(self, plan: ReleasePlan) -> Trace:
+        """Execute the plan; runs past the horizon until jobs drain."""
+        counter = itertools.count()
+        future: list[tuple[float, int, Job]] = []
+        for task in self.taskset:
+            for idx, release in enumerate(plan.for_task(task.name)):
+                job = Job(task=task, release=release, index=idx)
+                heapq.heappush(future, (release, next(counter), job))
+        jobs = [j for (_, _, j) in future]
+
+        ready: list[tuple[int, float, int, Job]] = []
+        loaded: Job | None = None  # copied-in last interval, runs now
+        pending_out: Job | None = None  # executed last interval
+        urgent: Job | None = None  # promoted by R4, runs now via R5
+        now = 0.0
+        intervals: list[Interval] = []
+        guard = 0
+        max_steps = 20 * len(jobs) + 20
+
+        def admit(upto: float) -> None:
+            while future and future[0][0] <= upto + TIME_EPS:
+                _, _, job = heapq.heappop(future)
+                heapq.heappush(
+                    ready, (job.task.priority, job.release, next(counter), job)
+                )
+
+        while True:
+            guard += 1
+            if guard > max_steps:
+                raise SimulationError("interval simulation failed to drain")
+            admit(now)
+            if (
+                loaded is None
+                and urgent is None
+                and pending_out is None
+                and not ready
+            ):
+                if not future:
+                    break
+                now = max(now, future[0][0])  # system idle: jump ahead
+                continue
+
+            start = now
+            # ---------------- DMA side: copy-out first (R2) ----------
+            dma_time = 0.0
+            unload_name = None
+            if pending_out is not None:
+                pending_out.copy_out_start = start
+                pending_out.copy_out_end = start + pending_out.task.copy_out
+                dma_time += pending_out.task.copy_out
+                unload_name = pending_out.name
+                pending_out = None
+            copy_in_offset = dma_time
+
+            # ---------------- DMA side: copy-in (R2) -----------------
+            load_job: Job | None = None
+            cancelled_job: Job | None = None
+            cancelled_name = None
+            if ready:
+                _, _, _, load_job = heapq.heappop(ready)
+
+            # ---------------- CPU side (R5) ---------------------------
+            cpu_time = 0.0
+            executed: Job | None = None
+            cpu_urgent = False
+            if urgent is not None:
+                executed, urgent = urgent, None
+                executed.copy_in_start = start
+                executed.copy_in_end = start + executed.task.copy_in
+                executed.copy_in_by = "cpu"
+                executed.urgent = True
+                executed.exec_start = executed.copy_in_end
+                executed.exec_end = (
+                    executed.exec_start + executed.task.exec_time
+                )
+                cpu_time = executed.task.copy_in + executed.task.exec_time
+                cpu_urgent = True
+            elif loaded is not None:
+                executed, loaded = loaded, None
+                executed.exec_start = start
+                executed.exec_end = start + executed.task.exec_time
+                cpu_time = executed.task.exec_time
+
+            # ---------------- R3: cancellation ------------------------
+            if load_job is not None:
+                in_start = start + copy_in_offset
+                in_end = in_start + load_job.task.copy_in
+                # Interval end if the copy-in stands: the loaded task
+                # starts executing only at the *next* interval, so any
+                # outranking LS release before that end evicts the load
+                # (pending, in progress, or completed-but-unstarted).
+                end_if_loaded = max(start + cpu_time, in_end)
+                cancel_at = None
+                if self.ls_rules:
+                    cancel_at = self._first_cancelling_release(
+                        future, load_job, start, end_if_loaded
+                    )
+                if cancel_at is not None:
+                    # Aborted mid-copy (DMA time up to the release is
+                    # wasted), never started, or completed and then
+                    # discarded (full copy time wasted).
+                    aborted_end = min(max(cancel_at, in_start), in_end)
+                    load_job.cancelled_copy_ins.append((in_start, aborted_end))
+                    dma_time = max(dma_time, aborted_end - start)
+                    cancelled_job = load_job
+                    cancelled_name = load_job.name
+                    heapq.heappush(
+                        ready,
+                        (
+                            load_job.task.priority,
+                            load_job.release,
+                            next(counter),
+                            load_job,
+                        ),
+                    )
+                    load_job = None
+                else:
+                    load_job.copy_in_start = in_start
+                    load_job.copy_in_end = in_end
+                    load_job.copy_in_by = "dma"
+                    dma_time = copy_in_offset + load_job.task.copy_in
+
+            end = start + max(cpu_time, dma_time)
+            if end <= start + TIME_EPS:
+                # Only possible when a zero-cost artefact slipped in;
+                # avoid zero-length interval loops.
+                end = start + TIME_EPS
+
+            # ---------------- R4: promotion ---------------------------
+            if self.ls_rules and (cancelled_job is not None or load_job is None):
+                promoted = self._pop_urgent_candidate(future, start, end)
+                if promoted is not None:
+                    urgent = promoted
+
+            if executed is not None:
+                executed.exec_interval = len(intervals)
+                pending_out = executed
+
+            intervals.append(
+                Interval(
+                    index=len(intervals),
+                    start=start,
+                    end=end,
+                    cpu_job=executed.name if executed else None,
+                    cpu_urgent=cpu_urgent,
+                    dma_load=load_job.name if load_job else None,
+                    dma_unload=unload_name,
+                    dma_cancelled=cancelled_name,
+                )
+            )
+            loaded = load_job
+            now = end
+
+        return Trace(jobs=jobs, intervals=intervals, protocol=self.protocol)
+
+    # ------------------------------------------------------------------
+    def _first_cancelling_release(
+        self,
+        future: list[tuple[float, int, Job]],
+        load_job: Job,
+        start: float,
+        window_end: float,
+    ) -> float | None:
+        """Earliest LS release in ``(start, window_end)`` that outranks
+        the copy-in target (R3); ``None`` when the copy-in stands.
+        ``window_end`` is the interval end assuming the load stands —
+        past it the loaded task is already executing and is immune."""
+        best = None
+        for release, _, job in future:
+            if not start + TIME_EPS < release < window_end - TIME_EPS:
+                continue
+            if not job.task.latency_sensitive:
+                continue
+            if job.task.priority >= load_job.task.priority:
+                continue
+            if best is None or release < best:
+                best = release
+        return best
+
+    def _pop_urgent_candidate(
+        self,
+        future: list[tuple[float, int, Job]],
+        start: float,
+        end: float,
+    ) -> Job | None:
+        """Remove and return the highest-priority LS job released
+        strictly inside ``(start, end]`` (R4); ``None`` if there is none."""
+        candidates = [
+            entry
+            for entry in future
+            if start + TIME_EPS < entry[0] <= end + TIME_EPS
+            and entry[2].task.latency_sensitive
+        ]
+        if not candidates:
+            return None
+        chosen = min(candidates, key=lambda e: e[2].task.priority)
+        future.remove(chosen)
+        heapq.heapify(future)
+        return chosen[2]
+
+
+class WaslySimulator(_IntervalEngine):
+    """Protocol [3]: double-buffered intervals, no LS machinery."""
+
+    protocol = "wasly"
+    ls_rules = False
+
+
+class ProposedSimulator(_IntervalEngine):
+    """The paper's protocol: rules R1-R6 including cancellation/urgency."""
+
+    protocol = "proposed"
+    ls_rules = True

@@ -1,0 +1,76 @@
+"""Non-preemptive fixed-priority simulator (the NPS baseline).
+
+No DMA: a job's copy-in, execution, and copy-out run back-to-back on
+the CPU. Scheduling decisions happen only at job completions and at
+releases into an idle system (non-preemptive fixed priorities).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.errors import SimulationError
+from repro.model.taskset import TaskSet
+from repro.sim.releases import ReleasePlan
+from repro.sim.trace import Job, Trace
+
+
+class NpsSimulator:
+    """Simulate a release plan under non-preemptive fixed priorities."""
+
+    protocol = "nps"
+
+    def __init__(self, taskset: TaskSet) -> None:
+        self.taskset = taskset
+
+    def run(self, plan: ReleasePlan) -> Trace:
+        """Execute the plan and return the complete trace.
+
+        The run continues past the plan horizon until every released
+        job completes, so response times are defined for all jobs.
+        """
+        counter = itertools.count()
+        future: list[tuple[float, int, Job]] = []
+        for task in self.taskset:
+            for idx, release in enumerate(plan.for_task(task.name)):
+                job = Job(task=task, release=release, index=idx)
+                heapq.heappush(future, (release, next(counter), job))
+
+        jobs: list[Job] = [j for (_, _, j) in future]
+        ready: list[tuple[int, float, int, Job]] = []  # (prio, release, seq)
+        now = 0.0
+        guard = 0
+        max_steps = 10 * len(jobs) + 10
+
+        while future or ready:
+            guard += 1
+            if guard > max_steps:
+                raise SimulationError("NPS simulation failed to drain jobs")
+            if not ready:
+                if not future:
+                    break
+                release, _, job = heapq.heappop(future)
+                now = max(now, release)
+                heapq.heappush(
+                    ready, (job.task.priority, job.release, next(counter), job)
+                )
+                continue
+            # Admit everything released by `now` before picking.
+            while future and future[0][0] <= now:
+                _, _, job = heapq.heappop(future)
+                heapq.heappush(
+                    ready, (job.task.priority, job.release, next(counter), job)
+                )
+            _, _, _, job = heapq.heappop(ready)
+            task = job.task
+            job.copy_in_start = now
+            job.copy_in_end = now + task.copy_in
+            job.copy_in_by = "cpu"
+            job.exec_start = job.copy_in_end
+            job.exec_end = job.exec_start + task.exec_time
+            job.copy_out_start = job.exec_end
+            job.copy_out_end = job.copy_out_start + task.copy_out
+            now = job.copy_out_end
+
+        return Trace(jobs=jobs, intervals=(), protocol=self.protocol)

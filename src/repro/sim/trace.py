@@ -1,0 +1,151 @@
+"""Trace records produced by the simulators.
+
+A :class:`Trace` holds one :class:`Job` per released job (with the
+timing of each of its three phases) and, for the interval-based
+protocols, one :class:`Interval` per scheduling time interval with the
+CPU/DMA occupancy — enough to re-derive response times, check the
+paper's structural properties, and draw Gantt charts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import SimulationError
+from repro.model.task import Task
+from repro.types import Time
+
+
+@dataclass
+class Job:
+    """One job of a task moving through its three phases.
+
+    Times are absolute simulation times; ``None`` marks a phase that
+    has not happened (yet). ``copy_in_by`` is ``"dma"`` or ``"cpu"``
+    (the latter only for urgent LS executions under the proposed
+    protocol, rule R5).
+    """
+
+    task: Task
+    release: Time
+    index: int
+    copy_in_start: Time | None = None
+    copy_in_end: Time | None = None
+    copy_in_by: str = "dma"
+    cancelled_copy_ins: list[tuple[Time, Time]] = field(default_factory=list)
+    exec_start: Time | None = None
+    exec_end: Time | None = None
+    exec_interval: int | None = None
+    copy_out_start: Time | None = None
+    copy_out_end: Time | None = None
+    urgent: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"{self.task.name}#{self.index}"
+
+    @property
+    def completed(self) -> bool:
+        return self.copy_out_end is not None
+
+    @property
+    def response_time(self) -> Time:
+        """Copy-out completion minus release (paper Sec. II)."""
+        if self.copy_out_end is None:
+            raise SimulationError(f"{self.name} has not completed")
+        return self.copy_out_end - self.release
+
+    @property
+    def was_cancelled(self) -> bool:
+        return bool(self.cancelled_copy_ins)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One scheduling time interval (Definition 1).
+
+    Attributes:
+        index: Position in the interval sequence.
+        start: Interval start time.
+        end: Interval end time (R6: the longer of CPU and DMA work).
+        cpu_job: Name of the job executing on the CPU (None = idle).
+        cpu_urgent: Whether the CPU occupant ran as urgent (R5).
+        dma_load: Name of the job whose copy-in completed here.
+        dma_unload: Name of the job whose copy-out ran here.
+        dma_cancelled: Name of the job whose copy-in was cancelled (R3).
+    """
+
+    index: int
+    start: Time
+    end: Time
+    cpu_job: str | None = None
+    cpu_urgent: bool = False
+    dma_load: str | None = None
+    dma_unload: str | None = None
+    dma_cancelled: str | None = None
+
+    @property
+    def length(self) -> Time:
+        return self.end - self.start
+
+
+class Trace:
+    """Complete record of one simulation run."""
+
+    def __init__(
+        self,
+        jobs: Iterable[Job],
+        intervals: Iterable[Interval] = (),
+        protocol: str = "",
+    ) -> None:
+        self.jobs: list[Job] = list(jobs)
+        self.intervals: list[Interval] = list(intervals)
+        self.protocol = protocol
+
+    def jobs_of(self, task_name: str) -> list[Job]:
+        """All jobs of one task, in release order."""
+        return sorted(
+            (j for j in self.jobs if j.task.name == task_name),
+            key=lambda j: j.release,
+        )
+
+    def completed_jobs(self) -> list[Job]:
+        return [j for j in self.jobs if j.completed]
+
+    def max_response_time(self, task_name: str) -> Time:
+        """Largest observed response time of a task's completed jobs."""
+        responses = [
+            j.response_time for j in self.jobs_of(task_name) if j.completed
+        ]
+        if not responses:
+            return -math.inf
+        return max(responses)
+
+    def response_times(self) -> dict[str, Time]:
+        """Max observed response per task (``-inf`` if none completed)."""
+        names = {j.task.name for j in self.jobs}
+        return {name: self.max_response_time(name) for name in names}
+
+    def deadline_misses(self) -> list[Job]:
+        """Completed jobs that finished after their deadline."""
+        return [
+            j
+            for j in self.completed_jobs()
+            if j.response_time > j.task.deadline + 1e-9
+        ]
+
+    def interval_at(self, time: Time) -> Interval | None:
+        """The interval containing ``time`` (half-open on the right)."""
+        for interval in self.intervals:
+            if interval.start <= time < interval.end:
+                return interval
+        return None
+
+    def __repr__(self) -> str:
+        done = len(self.completed_jobs())
+        return (
+            f"Trace({self.protocol!r}, jobs={len(self.jobs)} "
+            f"({done} completed), intervals={len(self.intervals)})"
+        )

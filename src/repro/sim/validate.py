@@ -1,0 +1,126 @@
+"""Trace invariant checkers (the paper's Properties 1-4).
+
+Given a trace from an interval simulator, these checks verify on the
+*observed* schedule what the paper proves must hold for every legal
+schedule:
+
+* Properties 1-2 (phase ordering): a DMA-loaded task's copy-in
+  completes in the interval preceding its execution; every copy-out
+  runs in the interval following the execution.
+* Property 3: an NLS task is blocked in at most two intervals by
+  lower-priority tasks.
+* Property 4: an LS task is blocked in at most one interval.
+
+They are used by the property-based tests and available to users as a
+debugging aid (a violation means a protocol-implementation bug, not a
+workload problem).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.trace import Job, Trace
+from repro.types import TIME_EPS
+
+
+def _interval_index_at(trace: Trace, time: float) -> int | None:
+    for interval in trace.intervals:
+        if interval.start - TIME_EPS <= time < interval.end - TIME_EPS:
+            return interval.index
+    return None
+
+
+def check_phase_ordering(trace: Trace) -> None:
+    """Properties 1 and 2: strict copy-in / execute / copy-out layout."""
+    for job in trace.completed_jobs():
+        if job.exec_interval is None:
+            raise SimulationError(f"{job.name} completed without an interval")
+        k = job.exec_interval
+        if job.copy_in_by == "dma":
+            # Property 1: DMA copy-in happened during interval k-1.
+            if job.copy_in_end is None:
+                raise SimulationError(f"{job.name} executed without a copy-in")
+            prev = trace.intervals[k - 1] if k >= 1 else None
+            if prev is None:
+                raise SimulationError(
+                    f"{job.name} executed in the first interval without a "
+                    "preceding copy-in interval"
+                )
+            if not (
+                prev.start - TIME_EPS
+                <= job.copy_in_start
+                <= job.copy_in_end
+                <= prev.end + TIME_EPS
+            ):
+                raise SimulationError(
+                    f"{job.name}: copy-in [{job.copy_in_start}, "
+                    f"{job.copy_in_end}] not inside interval {k - 1} "
+                    f"[{prev.start}, {prev.end}]"
+                )
+        else:
+            # Urgent: CPU copy-in immediately precedes execution (R5).
+            if abs(job.copy_in_end - job.exec_start) > TIME_EPS:
+                raise SimulationError(
+                    f"{job.name}: urgent copy-in does not abut execution"
+                )
+        # Properties 1-2: copy-out in interval k+1.
+        if k + 1 < len(trace.intervals):
+            nxt = trace.intervals[k + 1]
+            if abs(job.copy_out_start - nxt.start) > TIME_EPS:
+                raise SimulationError(
+                    f"{job.name}: copy-out starts at {job.copy_out_start}, "
+                    f"expected at interval {k + 1} start {nxt.start}"
+                )
+
+
+def count_blocking_intervals(trace: Trace, job: Job) -> int:
+    """Number of intervals in which ``job`` was blocked (Sec. II).
+
+    Counts intervals overlapping ``[release, exec_start)`` whose CPU
+    occupant is a *lower-priority* task (priority inversion). Intervals
+    occupied by higher-priority tasks are interference, not blocking.
+    """
+    if job.exec_start is None:
+        raise SimulationError(f"{job.name} never executed")
+    blocked = 0
+    for interval in trace.intervals:
+        if interval.end <= job.release + TIME_EPS:
+            continue
+        if interval.start >= job.exec_start - TIME_EPS:
+            break
+        if interval.cpu_job is None:
+            continue
+        occupant_task = interval.cpu_job.rsplit("#", 1)[0]
+        if occupant_task == job.task.name:
+            continue
+        occupant = next(
+            t for t in (j.task for j in trace.jobs) if t.name == occupant_task
+        )
+        if occupant.priority > job.task.priority:
+            blocked += 1
+    return blocked
+
+
+def check_blocking_bounds(trace: Trace) -> None:
+    """Properties 3 and 4 on every completed job of the trace.
+
+    Only meaningful for the proposed protocol (``ls_rules``): protocol
+    [3] deliberately allows two blocking intervals for every task.
+    """
+    for job in trace.completed_jobs():
+        limit = 1 if job.task.latency_sensitive else 2
+        observed = count_blocking_intervals(trace, job)
+        if observed > limit:
+            raise SimulationError(
+                f"{job.name} ({'LS' if job.task.latency_sensitive else 'NLS'}) "
+                f"blocked in {observed} intervals, bound is {limit}"
+            )
+
+
+def check_trace(trace: Trace) -> None:
+    """Run every invariant applicable to the trace's protocol."""
+    if not trace.intervals:
+        return  # NPS traces have no interval structure to check
+    check_phase_ordering(trace)
+    if trace.protocol == "proposed":
+        check_blocking_bounds(trace)

@@ -1,0 +1,39 @@
+"""Shared type aliases and small helper utilities.
+
+Time is modelled as ``float`` throughout the library. The analyses and
+the simulator never subtract nearly-equal large numbers, so plain IEEE
+doubles with an explicit tolerance (:data:`TIME_EPS`) are sufficient
+and keep the MILP interface (NumPy arrays) natural.
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+#: A point in time or a duration, in milliseconds (unit-free in practice).
+Time: TypeAlias = float
+
+#: A task priority; *lower* numeric value means *higher* priority,
+#: matching the convention of most real-time operating systems.
+Priority: TypeAlias = int
+
+#: Identifier of a task inside a :class:`repro.model.TaskSet`.
+TaskId: TypeAlias = int
+
+#: Absolute tolerance used for time comparisons across the library.
+TIME_EPS: float = 1e-9
+
+
+def time_eq(a: Time, b: Time, eps: float = TIME_EPS) -> bool:
+    """Return ``True`` when two time values are equal within tolerance."""
+    return abs(a - b) <= eps
+
+
+def time_leq(a: Time, b: Time, eps: float = TIME_EPS) -> bool:
+    """Return ``True`` when ``a <= b`` within tolerance."""
+    return a <= b + eps
+
+
+def time_lt(a: Time, b: Time, eps: float = TIME_EPS) -> bool:
+    """Return ``True`` when ``a < b`` beyond tolerance."""
+    return a < b - eps

@@ -1,0 +1,80 @@
+"""Unit and property tests for the adversarial release search."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.interface import AnalysisOptions
+from repro.analysis.nps import NpsAnalysis
+from repro.analysis.wasly import WaslyAnalysis
+from repro.model.taskset import TaskSet
+from repro.sim.adversarial import find_worst_response
+from repro.sim.interval_sim import WaslySimulator
+from repro.sim.nps_sim import NpsSimulator
+from repro.sim.releases import sporadic_plan
+
+
+@pytest.fixture
+def ts():
+    return TaskSet.from_parameters(
+        [
+            ("hi", 1.0, 0.2, 0.2, 10.0, 9.0),
+            ("mid", 2.0, 0.3, 0.3, 20.0, 18.0),
+            ("lo", 4.0, 0.8, 0.8, 50.0, 45.0),
+        ]
+    )
+
+
+class TestSearch:
+    def test_finds_blocking_for_high_priority_victim(self, ts):
+        result = find_worst_response(
+            ts, "hi", NpsSimulator, rng=np.random.default_rng(1)
+        )
+        # The worst pattern must include lower-priority blocking:
+        # response strictly above hi's own cost.
+        assert result.worst_response > ts.by_name("hi").total_cost + 0.5
+        assert result.patterns_tried > 5
+
+    def test_beats_random_plans(self, ts):
+        rng = np.random.default_rng(2)
+        random_best = float("-inf")
+        for _ in range(5):
+            plan = sporadic_plan(ts, 200.0, rng)
+            trace = NpsSimulator(ts).run(plan)
+            random_best = max(random_best, trace.max_response_time("hi"))
+        adv = find_worst_response(
+            ts, "hi", NpsSimulator, rng=np.random.default_rng(3)
+        )
+        assert adv.worst_response >= random_best - 1e-9
+
+    def test_observation_within_analysis_bound(self, ts):
+        options = AnalysisOptions(stop_at_deadline=False)
+        for victim in ("hi", "mid", "lo"):
+            adv = find_worst_response(
+                ts, victim, WaslySimulator, rng=np.random.default_rng(4)
+            )
+            bound = WaslyAnalysis(options).response_time(
+                ts, ts.by_name(victim)
+            )
+            assert adv.worst_response <= bound.wcrt + 1e-6
+
+    def test_nps_tightness_on_two_tasks(self):
+        # For two NPS tasks the exact analysis is tight: the search
+        # must achieve it exactly (blocking + own cost).
+        ts = TaskSet.from_parameters(
+            [
+                ("hi", 1.0, 0.0, 0.0, 10.0, 10.0),
+                ("lo", 4.0, 0.0, 0.0, 40.0, 40.0),
+            ]
+        )
+        adv = find_worst_response(
+            ts, "hi", NpsSimulator, rng=np.random.default_rng(5)
+        )
+        bound = NpsAnalysis().response_time(ts, ts.by_name("hi")).wcrt
+        assert adv.worst_response == pytest.approx(bound, abs=1e-2)
+
+    def test_result_trace_contains_victim_jobs(self, ts):
+        adv = find_worst_response(
+            ts, "mid", NpsSimulator, rng=np.random.default_rng(6)
+        )
+        assert adv.trace.jobs_of("mid")
+        assert adv.victim == "mid"

@@ -1,0 +1,107 @@
+"""Tests for the jitter-aware carry refinement (opt-in tightening)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analysis.interface import AnalysisOptions
+from repro.analysis.proposed.intervals import interference_budget
+from repro.analysis.proposed.response_time import ProposedAnalysis
+from repro.analysis.wasly import WaslyAnalysis
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.sim.interval_sim import ProposedSimulator
+from repro.sim.releases import sporadic_plan
+from tests.test_properties import small_tasksets
+
+_EXACT = AnalysisOptions(stop_at_deadline=False, max_iterations=40)
+
+
+@pytest.fixture
+def ts():
+    return TaskSet.from_parameters(
+        [
+            ("a", 1.0, 0.2, 0.2, 10.0, 9.0),
+            ("b", 2.0, 0.3, 0.3, 20.0, 16.0),
+            ("c", 3.0, 0.4, 0.4, 40.0, 36.0),
+        ]
+    )
+
+
+class TestInterferenceBudget:
+    def test_defaults_to_paper_count(self):
+        task = Task.sporadic("j", 1.0, 10.0)
+        assert interference_budget(task, 15.0) == task.eta(15.0) + 1
+
+    def test_refinement_never_exceeds_paper(self):
+        task = Task.sporadic("j", 1.0, 10.0)
+        for window in (1.0, 9.0, 15.0, 35.0):
+            for wcrt in (0.5, 3.0, 9.9):
+                refined = interference_budget(
+                    task, window, {"j": wcrt}
+                )
+                assert refined <= task.eta(window) + 1
+
+    def test_small_wcrt_drops_the_carry(self):
+        # R_j = 0.5 on T_j = 10: a window of 9 fits one job, not two.
+        task = Task.sporadic("j", 1.0, 10.0)
+        assert interference_budget(task, 9.0, {"j": 0.5}) == 1
+        assert interference_budget(task, 9.0) == 2
+
+    def test_infinite_wcrt_falls_back(self):
+        task = Task.sporadic("j", 1.0, 10.0)
+        assert (
+            interference_budget(task, 9.0, {"j": float("inf")})
+            == task.eta(9.0) + 1
+        )
+
+    def test_unknown_task_falls_back(self):
+        task = Task.sporadic("j", 1.0, 10.0)
+        assert interference_budget(task, 9.0, {}) == task.eta(9.0) + 1
+
+
+class TestRefinedAnalysis:
+    def test_refined_at_most_paper(self, ts):
+        paper = ProposedAnalysis(_EXACT)
+        refined = ProposedAnalysis(_EXACT, carry_refinement=True)
+        for task in ts:
+            assert (
+                refined.response_time(ts, task).wcrt
+                <= paper.response_time(ts, task).wcrt + 1e-9
+            )
+
+    def test_refinement_strictly_helps_somewhere(self, ts):
+        paper = ProposedAnalysis(_EXACT)
+        refined = ProposedAnalysis(_EXACT, carry_refinement=True)
+        gains = [
+            paper.response_time(ts, t).wcrt
+            - refined.response_time(ts, t).wcrt
+            for t in ts
+        ]
+        assert max(gains) > 0.5  # the lowest-priority task gains
+
+    def test_works_for_wasly_too(self, ts):
+        paper = WaslyAnalysis(_EXACT)
+        refined = WaslyAnalysis(_EXACT, carry_refinement=True)
+        for task in ts:
+            assert (
+                refined.response_time(ts, task).wcrt
+                <= paper.response_time(ts, task).wcrt + 1e-9
+            )
+
+    def test_cache_is_reused(self, ts):
+        analysis = ProposedAnalysis(_EXACT, carry_refinement=True)
+        analysis.analyze(ts)
+        assert len(analysis._wcrt_cache) >= len(ts) - 1
+
+    @settings(max_examples=8, deadline=None)
+    @given(small_tasksets(ls_marks=True), st.integers(0, 10_000))
+    def test_refined_bound_still_covers_simulation(self, ts, seed):
+        rng = np.random.default_rng(seed)
+        plan = sporadic_plan(ts, 400.0, rng)
+        trace = ProposedSimulator(ts).run(plan)
+        analysis = ProposedAnalysis(_EXACT, carry_refinement=True)
+        for task in ts:
+            result = analysis.response_time(ts, task)
+            assume(result.converged)
+            assert trace.max_response_time(task.name) <= result.wcrt + 1e-6

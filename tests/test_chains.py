@@ -1,0 +1,156 @@
+"""Unit and property tests for the task-chain extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.schedulability import analyze_taskset
+from repro.chains import (
+    TaskChain,
+    chain_data_age_bound,
+    chain_reaction_bound,
+    measure_reaction_times,
+)
+from repro.chains.measurement import max_reaction_time
+from repro.errors import AnalysisError, ModelError, SimulationError
+from repro.model.taskset import TaskSet
+from repro.sim.interval_sim import ProposedSimulator
+from repro.sim.nps_sim import NpsSimulator
+from repro.sim.releases import sporadic_plan, synchronous_plan
+
+
+@pytest.fixture
+def pipeline_ts():
+    return TaskSet.from_parameters(
+        [
+            # sensor -> filter -> actuate pipeline plus a bystander
+            ("sensor", 0.8, 0.1, 0.1, 10.0, 9.0),
+            ("filter", 1.5, 0.2, 0.2, 20.0, 18.0),
+            ("actuate", 1.0, 0.1, 0.1, 20.0, 20.0),
+            ("bystander", 2.0, 0.3, 0.3, 50.0, 45.0),
+        ]
+    )
+
+
+@pytest.fixture
+def chain(pipeline_ts):
+    return TaskChain(
+        name="control",
+        taskset=pipeline_ts,
+        stage_names=("sensor", "filter", "actuate"),
+    )
+
+
+class TestChainModel:
+    def test_stages_in_order(self, chain):
+        assert [t.name for t in chain.stages] == [
+            "sensor", "filter", "actuate",
+        ]
+        assert len(chain) == 3
+
+    def test_rejects_single_stage(self, pipeline_ts):
+        with pytest.raises(ModelError):
+            TaskChain("x", pipeline_ts, ("sensor",))
+
+    def test_rejects_repeats(self, pipeline_ts):
+        with pytest.raises(ModelError):
+            TaskChain("x", pipeline_ts, ("sensor", "sensor"))
+
+    def test_rejects_unknown_stage(self, pipeline_ts):
+        with pytest.raises(ModelError):
+            TaskChain("x", pipeline_ts, ("sensor", "ghost"))
+
+    def test_repr(self, chain):
+        assert "sensor -> filter -> actuate" in repr(chain)
+
+
+class TestChainBounds:
+    def test_reaction_bound_composition(self, pipeline_ts, chain):
+        result = analyze_taskset(pipeline_ts, "nps")
+        bound = chain_reaction_bound(chain, result)
+        manual = sum(
+            task.period + result.result_for(task.name).wcrt
+            for task in chain.stages
+        )
+        assert bound.total == pytest.approx(manual)
+        assert set(bound.per_stage) == {"sensor", "filter", "actuate"}
+
+    def test_data_age_adds_last_period(self, pipeline_ts, chain):
+        result = analyze_taskset(pipeline_ts, "nps")
+        reaction = chain_reaction_bound(chain, result)
+        age = chain_data_age_bound(chain, result)
+        assert age.total == pytest.approx(reaction.total + 20.0)
+
+    def test_infinite_stage_wcrt_propagates(self, pipeline_ts, chain):
+        overloaded = TaskSet.from_parameters(
+            [
+                ("sensor", 9.0, 0.1, 0.1, 10.0, 10.0),
+                ("filter", 8.0, 0.2, 0.2, 20.0, 20.0),
+                ("actuate", 1.0, 0.1, 0.1, 20.0, 20.0),
+                ("bystander", 2.0, 0.3, 0.3, 50.0, 45.0),
+            ]
+        )
+        from repro.analysis.interface import AnalysisOptions
+
+        result = analyze_taskset(
+            overloaded, "nps",
+            options=AnalysisOptions(stop_at_deadline=False),
+        )
+        bound = chain_reaction_bound(
+            TaskChain("c", overloaded, ("sensor", "filter")), result
+        )
+        assert math.isinf(bound.total)
+
+    def test_mismatched_result_rejected(self, pipeline_ts, chain):
+        other = TaskSet.from_parameters(
+            [("a", 1.0, 0.1, 0.1, 10.0, 9.0), ("b", 1.0, 0.1, 0.1, 20.0, 18.0)]
+        )
+        result = analyze_taskset(other, "nps")
+        with pytest.raises(AnalysisError):
+            chain_reaction_bound(chain, result)
+
+
+class TestChainMeasurement:
+    def test_samples_follow_dataflow(self, pipeline_ts, chain):
+        trace = NpsSimulator(pipeline_ts).run(
+            synchronous_plan(pipeline_ts, 200.0)
+        )
+        samples = measure_reaction_times(chain, trace)
+        assert samples
+        for sample in samples:
+            assert sample.latency > 0
+            assert len(sample.path) == 3
+            assert sample.path[0].startswith("sensor")
+            assert sample.path[-1].startswith("actuate")
+
+    def test_empty_stage_jobs_rejected(self, pipeline_ts, chain):
+        from repro.sim.trace import Trace
+
+        with pytest.raises(SimulationError):
+            measure_reaction_times(chain, Trace(jobs=[]))
+
+    @pytest.mark.parametrize("protocol_sim", [NpsSimulator, ProposedSimulator])
+    def test_measured_reaction_below_bound(
+        self, pipeline_ts, chain, protocol_sim
+    ):
+        protocol = "nps" if protocol_sim is NpsSimulator else "proposed"
+        result = analyze_taskset(pipeline_ts, protocol, ls_policy="as_marked")
+        assert result.schedulable
+        bound = chain_reaction_bound(chain, result)
+        rng = np.random.default_rng(11)
+        trace = protocol_sim(pipeline_ts).run(
+            sporadic_plan(pipeline_ts, 600.0, rng)
+        )
+        measured = max_reaction_time(chain, trace)
+        assert measured <= bound.total + 1e-6
+
+    def test_explicit_input_times(self, pipeline_ts, chain):
+        trace = NpsSimulator(pipeline_ts).run(
+            synchronous_plan(pipeline_ts, 200.0)
+        )
+        samples = measure_reaction_times(
+            chain, trace, input_times=[0.5, 15.0]
+        )
+        assert len(samples) == 2
+        assert samples[0].input_time == 0.5

@@ -1,0 +1,89 @@
+"""Unit tests for arrival-curve combinators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.curves import (
+    SporadicArrival,
+    curve_max,
+    curve_min,
+    curve_sum,
+    pseudo_inverse,
+    scale,
+)
+from repro.errors import CurveError
+
+
+@pytest.fixture
+def a():
+    return SporadicArrival(10.0)
+
+
+@pytest.fixture
+def b():
+    return SporadicArrival(4.0)
+
+
+class TestCombinators:
+    def test_sum_adds_pointwise(self, a, b):
+        s = curve_sum(a, b)
+        for delta in (0.0, 3.0, 10.0, 25.0):
+            assert s.eta(delta) == a.eta(delta) + b.eta(delta)
+
+    def test_max_pointwise(self, a, b):
+        m = curve_max(a, b)
+        for delta in (0.0, 3.0, 10.0, 25.0):
+            assert m.eta(delta) == max(a.eta(delta), b.eta(delta))
+
+    def test_min_pointwise(self, a, b):
+        m = curve_min(a, b)
+        for delta in (0.0, 3.0, 10.0, 25.0):
+            assert m.eta(delta) == min(a.eta(delta), b.eta(delta))
+
+    def test_scale(self, a):
+        doubled = scale(a, 2)
+        for delta in (1.0, 10.0, 33.3):
+            assert doubled.eta(delta) == 2 * a.eta(delta)
+
+    def test_scale_rejects_nonpositive(self, a):
+        with pytest.raises(CurveError):
+            scale(a, 0)
+        with pytest.raises(CurveError):
+            scale(a, -3)
+
+    def test_empty_combination_rejected(self):
+        with pytest.raises(CurveError):
+            curve_sum()
+
+    def test_nested_combinations(self, a, b):
+        nested = curve_sum(curve_max(a, b), scale(a, 3))
+        assert nested.eta(12.0) == max(a.eta(12.0), b.eta(12.0)) + 3 * a.eta(12.0)
+
+    def test_derived_curve_zero_window(self, a, b):
+        assert curve_sum(a, b).eta(0.0) == 0
+        assert curve_max(a, b).eta(-1.0) == 0
+
+    def test_repr_mentions_operands(self, a, b):
+        assert "curve_sum" in repr(curve_sum(a, b))
+
+
+class TestPseudoInverse:
+    def test_inverse_of_sporadic(self, a):
+        assert a.eta(pseudo_inverse(a, 3)) >= 3
+
+    def test_inverse_of_derived(self, a, b):
+        s = curve_sum(a, b)
+        for n in (1, 2, 5, 9):
+            delta = pseudo_inverse(s, n)
+            assert s.eta(delta) >= n
+
+    def test_inverse_of_zero(self, a):
+        assert pseudo_inverse(a, 0) == 0.0
+
+    @given(st.integers(1, 30), st.floats(0.5, 50.0))
+    def test_inverse_is_tightish(self, n, period):
+        curve = SporadicArrival(period)
+        delta = pseudo_inverse(curve, n)
+        assert curve.eta(delta) >= n
+        # Slightly smaller windows must not reach n events.
+        assert curve.eta(delta * 0.5) <= n

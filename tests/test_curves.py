@@ -1,0 +1,179 @@
+"""Unit tests for the arrival-curve event models."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.curves import (
+    BurstyArrival,
+    PeriodicJitterArrival,
+    SporadicArrival,
+    StaircaseCurve,
+)
+from repro.errors import CurveError
+
+
+class TestSporadicArrival:
+    def test_zero_window_has_no_events(self):
+        assert SporadicArrival(10.0).eta(0.0) == 0
+
+    def test_negative_window_has_no_events(self):
+        assert SporadicArrival(10.0).eta(-5.0) == 0
+
+    def test_window_below_period(self):
+        assert SporadicArrival(10.0).eta(9.99) == 1
+
+    def test_window_exactly_period(self):
+        # Half-open window of length T captures exactly one event.
+        assert SporadicArrival(10.0).eta(10.0) == 1
+
+    def test_window_just_past_period(self):
+        assert SporadicArrival(10.0).eta(10.5) == 2
+
+    def test_floating_point_noise_does_not_overcount(self):
+        # 3 * (0.1 + 0.2) style noise must not produce an extra event.
+        curve = SporadicArrival(0.30000000000000004)
+        assert curve.eta(0.9000000000000001) == 3
+
+    def test_eta_closed_includes_boundary_release(self):
+        curve = SporadicArrival(10.0)
+        assert curve.eta_closed(10.0) == 2
+        assert curve.eta_closed(0.0) == 1
+
+    def test_earliest_release(self):
+        curve = SporadicArrival(7.5)
+        assert curve.earliest_release(0) == 0.0
+        assert curve.earliest_release(3) == pytest.approx(22.5)
+
+    def test_delta_min_inverse_of_eta(self):
+        curve = SporadicArrival(4.0)
+        for n in range(1, 6):
+            delta = curve.delta_min(n)
+            assert curve.eta(delta) >= n
+
+    def test_invalid_period(self):
+        with pytest.raises(CurveError):
+            SporadicArrival(0.0)
+        with pytest.raises(CurveError):
+            SporadicArrival(-1.0)
+
+    def test_equality_and_hash(self):
+        assert SporadicArrival(5.0) == SporadicArrival(5.0)
+        assert hash(SporadicArrival(5.0)) == hash(SporadicArrival(5.0))
+        assert SporadicArrival(5.0) != SporadicArrival(6.0)
+
+    @given(st.floats(0.1, 1e6), st.floats(0.0, 1e6), st.floats(0.0, 1e6))
+    def test_subadditive_and_monotone(self, period, d1, d2):
+        curve = SporadicArrival(period)
+        assert curve.eta(d1 + d2) <= curve.eta(d1) + curve.eta(d2) + 1
+        small, large = sorted([d1, d2])
+        assert curve.eta(small) <= curve.eta(large)
+
+
+class TestPeriodicJitterArrival:
+    def test_no_jitter_matches_sporadic(self):
+        pj = PeriodicJitterArrival(10.0, 0.0)
+        sp = SporadicArrival(10.0)
+        for delta in (0.0, 1.0, 9.9, 10.0, 25.0, 100.0):
+            assert pj.eta(delta) == sp.eta(delta)
+
+    def test_jitter_adds_events(self):
+        pj = PeriodicJitterArrival(10.0, jitter=5.0)
+        assert pj.eta(6.0) == 2  # two releases can be squeezed by jitter
+
+    def test_zero_window(self):
+        assert PeriodicJitterArrival(10.0, 5.0).eta(0.0) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CurveError):
+            PeriodicJitterArrival(0.0, 1.0)
+        with pytest.raises(CurveError):
+            PeriodicJitterArrival(5.0, -1.0)
+
+    def test_generic_earliest_release_bisection(self):
+        pj = PeriodicJitterArrival(10.0, jitter=0.0)
+        assert pj.earliest_release(2) == pytest.approx(20.0, abs=1e-6)
+
+
+class TestBurstyArrival:
+    def test_burst_limited_by_d_min(self):
+        curve = BurstyArrival(period=10.0, jitter=50.0, d_min=1.0)
+        # jitter alone would allow 6 events in delta=5; d_min caps at 5.
+        assert curve.eta(5.0) == 5
+
+    def test_periodic_limit_for_large_windows(self):
+        curve = BurstyArrival(period=10.0, jitter=5.0, d_min=1.0)
+        assert curve.eta(100.0) == 11  # (100+5)/10 rounded up
+
+    def test_invalid_d_min_greater_than_period(self):
+        with pytest.raises(CurveError):
+            BurstyArrival(period=5.0, jitter=0.0, d_min=6.0)
+
+    def test_invalid_negatives(self):
+        with pytest.raises(CurveError):
+            BurstyArrival(period=-5.0, jitter=0.0, d_min=1.0)
+        with pytest.raises(CurveError):
+            BurstyArrival(period=5.0, jitter=-1.0, d_min=1.0)
+
+
+class TestStaircaseCurve:
+    def test_basic_steps(self):
+        curve = StaircaseCurve([(0.0, 1), (5.0, 2), (12.0, 3)])
+        assert curve.eta(0.0) == 0
+        assert curve.eta(1.0) == 1
+        assert curve.eta(5.0) == 2
+        assert curve.eta(11.0) == 2
+        assert curve.eta(12.0) == 3
+
+    def test_tail_extrapolation(self):
+        curve = StaircaseCurve([(0.0, 1), (10.0, 2)], tail_period=10.0)
+        assert curve.eta(20.0) == 3
+        assert curve.eta(30.0) == 4
+
+    def test_default_tail_uses_last_gap(self):
+        curve = StaircaseCurve([(0.0, 1), (4.0, 2)])
+        assert curve.eta(8.0) == 3
+
+    def test_rejects_decreasing_counts(self):
+        with pytest.raises(CurveError):
+            StaircaseCurve([(0.0, 2), (5.0, 1)])
+
+    def test_rejects_duplicate_positions(self):
+        with pytest.raises(CurveError):
+            StaircaseCurve([(5.0, 1), (5.0, 2)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(CurveError):
+            StaircaseCurve([])
+
+    def test_validate_passes_for_wellformed(self):
+        StaircaseCurve([(0.0, 1), (5.0, 2)]).validate()
+
+    def test_rejects_degenerate_tail_period(self):
+        with pytest.raises(CurveError):
+            StaircaseCurve([(0.0, 1)], tail_period=1e-12)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 200).map(lambda k: k * 0.5),
+                st.integers(1, 50),
+            ),
+            min_size=1,
+            max_size=8,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_monotone_for_any_steps(self, raw_steps):
+        ordered = sorted(raw_steps)
+        counts = []
+        acc = 0
+        for _, c in ordered:
+            acc = max(acc, c) if not counts else max(counts[-1], c)
+            counts.append(acc)
+        steps = [(d, c) for (d, _), c in zip(ordered, counts)]
+        curve = StaircaseCurve(steps)
+        probes = [0.0, 0.5, 1.0, 10.0, 50.0, 150.0, 500.0]
+        values = [curve.eta(p) for p in probes]
+        assert values == sorted(values)

@@ -1,0 +1,37 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ModelError,
+        errors.CurveError,
+        errors.SolverError,
+        errors.InfeasibleModelError,
+        errors.UnboundedModelError,
+        errors.AnalysisError,
+        errors.SimulationError,
+        errors.PartitioningError,
+        errors.ExperimentError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_solver_error_specialisations():
+    assert issubclass(errors.InfeasibleModelError, errors.SolverError)
+    assert issubclass(errors.UnboundedModelError, errors.SolverError)
+
+
+def test_catching_specific_before_general():
+    try:
+        raise errors.InfeasibleModelError("x")
+    except errors.SolverError as caught:
+        assert isinstance(caught, errors.InfeasibleModelError)

@@ -1,0 +1,57 @@
+"""Smoke tests: the example scripts run and tell their stories."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExampleScripts:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "greedy LS marking: schedulable=True" in out
+        assert "'control'" in out.split("LS tasks=")[1]
+
+    def test_figure1(self):
+        out = _run("figure1_motivating_example.py")
+        assert "MISSES" in out and out.count("MEETS") == 2
+
+    def test_ls_case_study(self):
+        out = _run("ls_assignment_case_study.py")
+        assert "greedy               -> SCHEDULABLE" in out
+        assert "all_nls              -> not schedulable" in out
+        assert "tightest_deadlines   -> not schedulable" in out
+
+    def test_custom_arrival_curves(self):
+        out = _run("custom_arrival_curves.py")
+        assert "arrival-curve values" in out
+        assert "proposed" in out
+
+    def test_task_chains(self):
+        out = _run("task_chains.py")
+        assert "reaction bound" in out
+        assert "total reaction bound" in out
+
+    def test_simulation_vs_analysis(self):
+        out = _run("simulation_vs_analysis.py", "3")
+        assert "all observed responses are within the analytic bounds" in out
+
+    def test_worst_case_witness(self):
+        out = _run("worst_case_witness.py")
+        assert "mode=nls" in out
+        assert "mode=ls_a" in out
+        assert "mode=ls_b" in out

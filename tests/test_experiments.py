@@ -1,0 +1,136 @@
+"""Unit tests for the experiment harness (configs, runner, reports)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    FIGURE2_INSETS,
+    ExperimentConfig,
+    SweepPoint,
+    ascii_plot,
+    figure2_config,
+    render_sweep_table,
+    run_experiment,
+    run_point,
+    sweep_to_csv,
+)
+from repro.experiments.runner import compare_on_taskset
+from repro.generator.taskset_gen import GenerationConfig
+from repro.model.taskset import TaskSet
+
+
+@pytest.fixture
+def tiny_experiment():
+    points = tuple(
+        SweepPoint(u, GenerationConfig(n=3, utilization=u, gamma=0.1))
+        for u in (0.2, 0.4)
+    )
+    return ExperimentConfig(
+        name="mini",
+        x_label="U",
+        points=points,
+        sets_per_point=3,
+        seed=11,
+        method="closed_form",  # keep the unit test fast
+    )
+
+
+class TestConfigs:
+    def test_all_six_insets_defined(self):
+        assert set(FIGURE2_INSETS) == {
+            "fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2f",
+        }
+
+    def test_figure2_config_builds(self):
+        cfg = figure2_config("fig2e", sets_per_point=5)
+        assert cfg.x_label == "gamma"
+        assert [p.x for p in cfg.points] == [0.1, 0.2, 0.3, 0.4, 0.5]
+        assert cfg.sets_per_point == 5
+
+    def test_unknown_inset(self):
+        with pytest.raises(ExperimentError):
+            figure2_config("fig2z")
+
+    def test_gamma_sweep_varies_gamma(self):
+        cfg = figure2_config("fig2e")
+        gammas = [p.generation.gamma for p in cfg.points]
+        assert gammas == [0.1, 0.2, 0.3, 0.4, 0.5]
+
+    def test_beta_sweep_varies_beta(self):
+        cfg = figure2_config("fig2f")
+        betas = [p.generation.beta for p in cfg.points]
+        assert betas == [0.0, 0.25, 0.5, 0.75, 1.0]
+
+    def test_u_sweeps_vary_utilization(self):
+        for inset in ("fig2a", "fig2b", "fig2c", "fig2d"):
+            cfg = figure2_config(inset)
+            xs = [p.x for p in cfg.points]
+            assert xs == sorted(xs)
+            assert all(p.generation.utilization == p.x for p in cfg.points)
+
+    def test_scaled_changes_sample_count(self):
+        cfg = figure2_config("fig2a").scaled(7)
+        assert cfg.sets_per_point == 7
+
+    def test_rejects_empty_sweep(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(name="x", x_label="U", points=())
+
+
+class TestRunner:
+    def test_run_point_ratios_in_unit_interval(self, tiny_experiment):
+        result = run_point(
+            tiny_experiment.points[0], tiny_experiment, seed=1
+        )
+        for protocol in tiny_experiment.protocols:
+            assert 0.0 <= result.ratios[protocol] <= 1.0
+        assert result.sets_evaluated == 3
+
+    def test_run_experiment_collects_all_points(self, tiny_experiment):
+        seen = []
+        result = run_experiment(tiny_experiment, progress=seen.append)
+        assert len(result.points) == 2
+        assert len(seen) == 2
+        assert result.x_values == [0.2, 0.4]
+
+    def test_series_and_advantage(self, tiny_experiment):
+        result = run_experiment(tiny_experiment)
+        series = result.series("proposed")
+        assert [x for x, _ in series] == [0.2, 0.4]
+        gap = result.advantage("proposed", "wasly")
+        assert -1.0 <= gap <= 1.0
+
+    def test_compare_on_taskset(self):
+        ts = TaskSet.from_parameters(
+            [
+                ("a", 1.0, 0.1, 0.1, 10.0, 9.0),
+                ("b", 2.0, 0.2, 0.2, 20.0, 18.0),
+            ]
+        )
+        verdicts = compare_on_taskset(ts)
+        assert set(verdicts) == {"nps", "wasly", "proposed"}
+        assert all(isinstance(v, bool) for v in verdicts.values())
+
+
+class TestReports:
+    @pytest.fixture
+    def result(self, tiny_experiment):
+        return run_experiment(tiny_experiment)
+
+    def test_csv_round_shape(self, result):
+        csv_text = sweep_to_csv(result)
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("U,")
+        assert len(lines) == 3  # header + 2 points
+
+    def test_table_contains_protocols(self, result):
+        table = render_sweep_table(result)
+        for protocol in result.config.protocols:
+            assert protocol in table
+        assert "max advantage" in table
+
+    def test_ascii_plot_dimensions(self, result):
+        art = ascii_plot(result, width=40, height=8)
+        lines = art.splitlines()
+        assert len(lines) == 8 + 4  # rows + title + axis + legend
+        assert "marks:" in lines[-1]

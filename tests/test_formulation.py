@@ -1,0 +1,162 @@
+"""Unit tests for the delay-MILP constraint builder."""
+
+import pytest
+
+from repro.analysis.proposed.closed_form import ls_case_b_bound
+from repro.analysis.proposed.formulation import (
+    AnalysisMode,
+    build_delay_milp,
+)
+from repro.errors import AnalysisError
+from repro.milp import HighsBackend, SolveStatus
+from repro.model.taskset import TaskSet
+
+
+@pytest.fixture
+def mixed_ts():
+    ts = TaskSet.from_parameters(
+        [
+            ("a", 1.0, 0.2, 0.2, 10.0, 8.0),
+            ("b", 2.0, 0.3, 0.3, 20.0, 15.0),
+            ("c", 3.0, 0.4, 0.4, 40.0, 30.0),
+            ("d", 4.0, 0.5, 0.5, 80.0, 60.0),
+        ]
+    )
+    return ts.with_ls_marks(["a", "c"])
+
+
+def _solve(built):
+    return built.model.solve(HighsBackend())
+
+
+class TestModeDispatch:
+    def test_nls_mode_rejects_ls_task(self, mixed_ts):
+        task = mixed_ts.by_name("c")  # LS
+        with pytest.raises(AnalysisError):
+            build_delay_milp(mixed_ts, task, 10.0, AnalysisMode.NLS)
+
+    def test_ls_mode_rejects_nls_task(self, mixed_ts):
+        task = mixed_ts.by_name("b")  # NLS
+        with pytest.raises(AnalysisError):
+            build_delay_milp(mixed_ts, task, 10.0, AnalysisMode.LS_CASE_A)
+        with pytest.raises(AnalysisError):
+            build_delay_milp(mixed_ts, task, 10.0, AnalysisMode.LS_CASE_B)
+
+    def test_wasly_mode_accepts_anyone(self, mixed_ts):
+        for name in ("b", "c"):
+            built = build_delay_milp(
+                mixed_ts, mixed_ts.by_name(name), 10.0, AnalysisMode.WASLY
+            )
+            assert built.mode is AnalysisMode.WASLY
+
+
+class TestStructure:
+    def test_wasly_has_no_ls_machinery(self, mixed_ts):
+        built = build_delay_milp(
+            mixed_ts, mixed_ts.by_name("b"), 10.0, AnalysisMode.WASLY
+        )
+        assert built.stats["LE_vars"] == 0
+        assert built.stats["CL_vars"] == 0
+
+    def test_nls_mode_has_ls_vars_for_ls_tasks(self, mixed_ts):
+        built = build_delay_milp(
+            mixed_ts, mixed_ts.by_name("b"), 10.0, AnalysisMode.NLS
+        )
+        assert built.stats["LE_vars"] > 0
+        assert built.stats["CL_vars"] > 0
+
+    def test_no_cancellations_without_ls_tasks(self):
+        plain = TaskSet.from_parameters(
+            [
+                ("x", 1.0, 0.1, 0.1, 10.0, 9.0),
+                ("y", 2.0, 0.2, 0.2, 20.0, 18.0),
+            ]
+        )
+        built = build_delay_milp(
+            plain, plain.by_name("x"), 5.0, AnalysisMode.NLS
+        )
+        assert built.stats["CL_vars"] == 0
+        assert built.stats["LE_vars"] == 0
+
+    def test_interval_count_recorded(self, mixed_ts):
+        built = build_delay_milp(
+            mixed_ts, mixed_ts.by_name("d"), 25.0, AnalysisMode.NLS
+        )
+        assert built.num_intervals >= 4
+        assert len(built.deltas) == built.num_intervals
+
+
+class TestSolutions:
+    def test_nls_solves_optimal(self, mixed_ts):
+        built = build_delay_milp(
+            mixed_ts, mixed_ts.by_name("b"), 10.0, AnalysisMode.NLS
+        )
+        sol = _solve(built)
+        assert sol.status is SolveStatus.OPTIMAL
+        # Delay at least covers tau_i's own copy-in and execution.
+        task = mixed_ts.by_name("b")
+        assert sol.objective >= task.copy_in + task.exec_time - 1e-9
+
+    def test_single_task_exact_value(self, single_task_set):
+        # I_0: copy-in l in parallel with a pre-window copy-out (<= u);
+        # I_1: execution C in parallel with at most one copy-in (<= l).
+        task = single_task_set[0]
+        built = build_delay_milp(
+            single_task_set, task, task.copy_in, AnalysisMode.NLS
+        )
+        sol = _solve(built)
+        expected = (task.copy_in + task.copy_out) + max(
+            task.exec_time, task.copy_in
+        )
+        assert sol.objective == pytest.approx(expected)
+
+    def test_wasly_bound_at_least_nls(self, mixed_ts):
+        # Two blocking intervals ([3]) can only lengthen the delay
+        # relative to the same window under the proposed protocol.
+        task = mixed_ts.by_name("b")
+        nls = _solve(build_delay_milp(mixed_ts, task, 12.0, AnalysisMode.NLS))
+        was = _solve(
+            build_delay_milp(mixed_ts, task, 12.0, AnalysisMode.WASLY)
+        )
+        # NLS mode allows urgent LS interference the WASLY mode lacks,
+        # so no strict order holds in general; but for the highest
+        # utilisation blockers here WASLY >= NLS - small tolerance.
+        assert was.objective >= nls.objective - (
+            mixed_ts.max_copy_in() + max(t.exec_time for t in mixed_ts)
+        )
+
+    def test_objective_monotone_in_window(self, mixed_ts):
+        task = mixed_ts.by_name("d")
+        small = _solve(
+            build_delay_milp(mixed_ts, task, 5.0, AnalysisMode.NLS)
+        )
+        large = _solve(
+            build_delay_milp(mixed_ts, task, 60.0, AnalysisMode.NLS)
+        )
+        assert large.objective >= small.objective - 1e-9
+
+
+class TestCaseB:
+    def test_case_b_matches_closed_form(self, mixed_ts):
+        task = mixed_ts.by_name("c")
+        built = build_delay_milp(mixed_ts, task, 0.0, AnalysisMode.LS_CASE_B)
+        sol = _solve(built)
+        assert sol.status is SolveStatus.OPTIMAL
+        closed = ls_case_b_bound(mixed_ts, task)
+        assert sol.objective + task.copy_out == pytest.approx(closed)
+
+    def test_case_b_single_ls_task(self):
+        ts = TaskSet.from_parameters(
+            [("solo", 3.0, 1.0, 0.5, 20.0, 15.0)]
+        ).with_ls_marks(["solo"])
+        task = ts.by_name("solo")
+        built = build_delay_milp(ts, task, 0.0, AnalysisMode.LS_CASE_B)
+        sol = _solve(built)
+        closed = ls_case_b_bound(ts, task)
+        assert sol.objective + task.copy_out == pytest.approx(closed)
+
+    def test_case_b_has_two_intervals(self, mixed_ts):
+        built = build_delay_milp(
+            mixed_ts, mixed_ts.by_name("a"), 0.0, AnalysisMode.LS_CASE_B
+        )
+        assert built.num_intervals == 2

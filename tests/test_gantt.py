@@ -1,0 +1,70 @@
+"""Unit tests for ASCII Gantt rendering."""
+
+import pytest
+
+from repro.examples_support import figure1_plan, figure1_taskset
+from repro.sim.gantt import render_gantt, summarize_responses
+from repro.sim.interval_sim import WaslySimulator
+from repro.sim.nps_sim import NpsSimulator
+from repro.sim.releases import ReleasePlan
+from repro.sim.trace import Trace
+
+
+@pytest.fixture
+def wasly_trace():
+    return WaslySimulator(figure1_taskset()).run(figure1_plan())
+
+
+class TestRenderGantt:
+    def test_contains_rows_and_legend(self, wasly_trace):
+        art = render_gantt(wasly_trace, width=80)
+        assert "CPU |" in art
+        assert "DMA |" in art
+        assert "ivl |" in art
+        assert "legend:" in art
+
+    def test_respects_width(self, wasly_trace):
+        art = render_gantt(wasly_trace, width=50)
+        for line in art.splitlines():
+            if line.startswith(("CPU", "DMA", "ivl")):
+                assert len(line) <= 50 + 5  # row label + bar
+
+    def test_until_truncates(self, wasly_trace):
+        art = render_gantt(wasly_trace, width=60, until=5.0)
+        assert "0..5" in art
+
+    def test_task_names_appear(self, wasly_trace):
+        art = render_gantt(wasly_trace, width=120)
+        assert "ti" in art
+        assert "lp1" in art
+
+    def test_nps_trace_has_no_dma_row(self):
+        ts = figure1_taskset()
+        trace = NpsSimulator(ts).run(figure1_plan())
+        art = render_gantt(trace, width=60)
+        assert "DMA |" not in art
+
+    def test_empty_trace(self):
+        art = render_gantt(Trace(jobs=[], protocol="nps"))
+        assert "CPU |" in art
+
+
+class TestSummarizeResponses:
+    def test_table_shape(self, wasly_trace):
+        table = summarize_responses(wasly_trace)
+        lines = table.splitlines()
+        assert lines[0].startswith("task")
+        assert len(lines) == 5  # header + 4 tasks
+
+    def test_miss_flagged(self, wasly_trace):
+        table = summarize_responses(wasly_trace)
+        ti_line = next(l for l in table.splitlines() if l.startswith("ti"))
+        assert "NO" in ti_line
+
+    def test_incomplete_task_shows_na(self):
+        from repro.model.task import Task
+        from repro.sim.trace import Job
+
+        task = Task.sporadic("ghost", 1.0, 10.0)
+        trace = Trace(jobs=[Job(task=task, release=0.0, index=0)])
+        assert "n/a" in summarize_responses(trace)

@@ -1,0 +1,147 @@
+"""Unit tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.generator import (
+    GenerationConfig,
+    generate_platform_taskset,
+    generate_taskset,
+    generate_tasksets,
+    log_uniform_periods,
+    uunifast,
+    uunifast_discard,
+)
+from repro.model.platform import Platform
+
+
+class TestUUnifast:
+    def test_sums_to_target(self, rng):
+        for n in (1, 2, 5, 20):
+            utils = uunifast(n, 0.75, rng)
+            assert len(utils) == n
+            assert sum(utils) == pytest.approx(0.75)
+
+    def test_all_positive(self, rng):
+        assert all(u > 0 for u in uunifast(10, 0.9, rng))
+
+    def test_rejects_bad_arguments(self, rng):
+        with pytest.raises(ExperimentError):
+            uunifast(0, 0.5, rng)
+        with pytest.raises(ExperimentError):
+            uunifast(5, -0.1, rng)
+
+    def test_discard_respects_cap(self, rng):
+        for _ in range(20):
+            utils = uunifast_discard(4, 2.0, rng, max_task_utilization=0.9)
+            assert max(utils) <= 0.9
+
+    def test_discard_impossible_cap(self, rng):
+        with pytest.raises(ExperimentError):
+            uunifast_discard(2, 2.0, rng, max_task_utilization=0.5,
+                             max_attempts=50)
+
+    def test_reproducible_with_seed(self):
+        a = uunifast(5, 0.6, np.random.default_rng(1))
+        b = uunifast(5, 0.6, np.random.default_rng(1))
+        assert a == b
+
+
+class TestPeriods:
+    def test_within_range(self, rng):
+        periods = log_uniform_periods(100, rng, 10.0, 100.0)
+        assert all(10.0 <= p <= 100.0 for p in periods)
+
+    def test_log_uniform_median(self):
+        rng = np.random.default_rng(0)
+        periods = log_uniform_periods(20_000, rng, 10.0, 100.0)
+        # Median of a log-uniform on [10, 100] is sqrt(1000) ~ 31.6.
+        assert np.median(periods) == pytest.approx(31.6, rel=0.05)
+
+    def test_rejects_bad_range(self, rng):
+        with pytest.raises(ExperimentError):
+            log_uniform_periods(5, rng, 0.0, 10.0)
+        with pytest.raises(ExperimentError):
+            log_uniform_periods(5, rng, 20.0, 10.0)
+        with pytest.raises(ExperimentError):
+            log_uniform_periods(0, rng, 1.0, 2.0)
+
+
+class TestGenerationConfig:
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            GenerationConfig(n=0)
+        with pytest.raises(ExperimentError):
+            GenerationConfig(utilization=0.0)
+        with pytest.raises(ExperimentError):
+            GenerationConfig(gamma=-0.1)
+        with pytest.raises(ExperimentError):
+            GenerationConfig(beta=1.5)
+        with pytest.raises(ExperimentError):
+            GenerationConfig(period_low=0.0)
+
+    def test_with_override(self):
+        cfg = GenerationConfig(n=6).with_(utilization=0.8)
+        assert cfg.utilization == 0.8
+        assert cfg.n == 6
+
+
+class TestGenerateTaskset:
+    def test_matches_recipe(self, rng):
+        cfg = GenerationConfig(n=8, utilization=0.6, gamma=0.3, beta=0.5)
+        ts = generate_taskset(cfg, rng)
+        assert len(ts) == 8
+        assert ts.utilization == pytest.approx(0.6)
+        for task in ts:
+            assert task.copy_in == pytest.approx(0.3 * task.exec_time)
+            assert task.copy_out == pytest.approx(task.copy_in)
+            assert 10.0 <= task.period <= 100.0
+            d_low = task.exec_time + 0.5 * (task.period - task.exec_time)
+            assert d_low - 1e-9 <= task.deadline <= task.period + 1e-9
+
+    def test_deadline_monotonic_priorities(self, rng):
+        cfg = GenerationConfig(n=10)
+        ts = generate_taskset(cfg, rng)
+        deadlines = [t.deadline for t in ts]  # iteration is by priority
+        assert deadlines == sorted(deadlines)
+
+    def test_stream_reproducible(self):
+        cfg = GenerationConfig(n=5)
+        a = list(generate_tasksets(cfg, 3, seed=9))
+        b = list(generate_tasksets(cfg, 3, seed=9))
+        assert a == b
+
+    def test_stream_distinct_sets(self):
+        cfg = GenerationConfig(n=5)
+        sets = list(generate_tasksets(cfg, 3, seed=9))
+        assert sets[0] != sets[1]
+
+    def test_stream_rejects_nonpositive_count(self):
+        with pytest.raises(ExperimentError):
+            list(generate_tasksets(GenerationConfig(), 0, seed=1))
+
+
+class TestPlatformTaskset:
+    def test_footprints_fit_partition(self, rng):
+        platform = Platform.homogeneous(1, memory_bytes=256 * 1024)
+        core = platform.cores[0]
+        ts = generate_platform_taskset(6, 0.5, core, rng)
+        for task in ts:
+            assert task.footprint is not None
+            assert task.footprint <= core.memory.partition_bytes
+            assert task.copy_in > 0
+            assert task.copy_out <= task.copy_in
+
+    def test_rejects_oversized_footprint_range(self, rng):
+        platform = Platform.homogeneous(1, memory_bytes=8 * 1024)
+        core = platform.cores[0]
+        with pytest.raises(ExperimentError):
+            generate_platform_taskset(
+                3, 0.5, core, rng, footprint_low=1, footprint_high=10**9
+            )
+
+    def test_rejects_bad_output_fraction(self, rng):
+        core = Platform.homogeneous(1).cores[0]
+        with pytest.raises(ExperimentError):
+            generate_platform_taskset(3, 0.5, core, rng, output_fraction=0.0)

@@ -1,0 +1,59 @@
+"""HiGHS backend option paths: gaps, time limits, dual bounds."""
+
+import numpy as np
+import pytest
+
+from repro.milp import HighsBackend, MilpModel, SolveStatus
+from repro.milp.expr import LinExpr
+
+
+def _hard_knapsack(n=16, seed=7):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(10, 100, size=n).tolist()
+    weights = rng.integers(5, 50, size=n).tolist()
+    m = MilpModel("hard")
+    xs = [m.binary(f"x{i}") for i in range(n)]
+    m.add(
+        LinExpr.total(w * x for w, x in zip(weights, xs))
+        <= int(sum(weights) * 0.4)
+    )
+    m.maximize(LinExpr.total(v * x for v, x in zip(values, xs)))
+    return m
+
+
+class TestHighsOptions:
+    def test_mip_rel_gap_with_dual_bound_is_safe(self):
+        m = _hard_knapsack()
+        exact = m.solve(HighsBackend()).objective
+        loose = m.solve(
+            HighsBackend(mip_rel_gap=0.3, use_dual_bound=True)
+        )
+        assert loose.status in (SolveStatus.OPTIMAL, SolveStatus.TIME_LIMIT)
+        # With the dual bound reported, the result can only
+        # over-approximate the true maximum.
+        assert loose.objective >= exact - 1e-6
+
+    def test_dual_bound_ignored_at_optimality(self):
+        m = MilpModel()
+        x = m.binary("x")
+        m.add(x <= 1)
+        m.maximize(3 * x)
+        sol = m.solve(HighsBackend(time_limit=30.0, use_dual_bound=True))
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_time_limit_does_not_break_small_models(self):
+        m = _hard_knapsack(n=8)
+        sol = m.solve(HighsBackend(time_limit=10.0))
+        assert sol.status is SolveStatus.OPTIMAL
+
+    def test_node_count_reported(self):
+        m = _hard_knapsack()
+        sol = m.solve(HighsBackend())
+        assert sol.node_count is None or sol.node_count >= 0
+
+    def test_runtime_recorded(self):
+        m = _hard_knapsack(n=6)
+        sol = m.solve(HighsBackend())
+        assert sol.runtime_seconds > 0.0
+        assert sol.backend == "highs"

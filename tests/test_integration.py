@@ -1,0 +1,119 @@
+"""Cross-module integration scenarios (end-to-end stories)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Platform,
+    TaskSet,
+    analyze_taskset,
+    greedy_ls_assignment,
+    is_schedulable,
+    partition_tasks,
+)
+from repro.analysis.interface import AnalysisOptions
+from repro.analysis.proposed import ProposedAnalysis
+from repro.generator import (
+    GenerationConfig,
+    generate_platform_taskset,
+    generate_taskset,
+)
+from repro.sim import (
+    ProposedSimulator,
+    check_trace,
+    sporadic_plan,
+)
+
+
+class TestQuickstartStory:
+    """The README workload: proposed wins where both baselines fail."""
+
+    @pytest.fixture
+    def taskset(self):
+        return TaskSet.from_parameters(
+            [
+                ("control", 1.0, 0.20, 0.20, 10.0, 7.0),
+                ("camera", 2.0, 0.60, 0.40, 12.0, 11.5),
+                ("fusion", 2.5, 0.50, 0.50, 20.0, 19.0),
+                ("logger", 4.0, 1.20, 1.20, 50.0, 45.0),
+            ]
+        )
+
+    def test_nps_fails(self, taskset):
+        assert not is_schedulable(taskset, "nps")
+
+    def test_wasly_fails(self, taskset):
+        assert not is_schedulable(taskset, "wasly")
+
+    def test_proposed_succeeds_with_greedy(self, taskset):
+        assert is_schedulable(taskset, "proposed", ls_policy="greedy")
+
+    def test_greedy_marks_control(self, taskset):
+        outcome = greedy_ls_assignment(taskset)
+        assert outcome.schedulable
+        assert "control" in outcome.ls_names
+
+    def test_marked_set_simulates_cleanly(self, taskset):
+        outcome = greedy_ls_assignment(taskset)
+        marked = outcome.taskset
+        rng = np.random.default_rng(3)
+        trace = ProposedSimulator(marked).run(
+            sporadic_plan(marked, 500.0, rng)
+        )
+        check_trace(trace)
+        assert not trace.deadline_misses()
+
+
+class TestGeneratedWorkloadPipeline:
+    """generator -> analysis -> simulation consistency."""
+
+    def test_full_pipeline_one_seed(self):
+        rng = np.random.default_rng(99)
+        taskset = generate_taskset(
+            GenerationConfig(n=5, utilization=0.3, gamma=0.2, beta=0.8), rng
+        )
+        result = analyze_taskset(taskset, "proposed", ls_policy="greedy")
+        if result.schedulable:
+            plan = sporadic_plan(taskset, 300.0, rng)
+            final_set = result.taskset
+            trace = ProposedSimulator(final_set).run(plan)
+            assert not trace.deadline_misses()
+
+    def test_analysis_options_time_limit_is_safe(self):
+        # A harshly capped solve must only make the bound larger.
+        rng = np.random.default_rng(5)
+        taskset = generate_taskset(
+            GenerationConfig(n=5, utilization=0.35, gamma=0.3), rng
+        )
+        task = taskset[len(taskset) - 1]
+        free = ProposedAnalysis(
+            AnalysisOptions(stop_at_deadline=False)
+        ).response_time(taskset, task)
+        capped = ProposedAnalysis(
+            AnalysisOptions(stop_at_deadline=False, time_limit=0.05)
+        ).response_time(taskset, task)
+        assert capped.wcrt >= free.wcrt - 1e-6
+
+
+class TestMulticoreStory:
+    """Platform-aware generation, partitioning, per-core analysis."""
+
+    def test_partition_then_analyze_each_core(self):
+        platform = Platform.homogeneous(2, memory_bytes=256 * 1024)
+        rng = np.random.default_rng(17)
+        taskset = generate_platform_taskset(
+            n=8, utilization=0.7, core=platform.cores[0], rng=rng
+        )
+        result = partition_tasks(taskset, platform, "worst_fit")
+        analysed = 0
+        for idx, core_set in enumerate(result.assignments):
+            if core_set is None:
+                continue
+            platform.validate_taskset(platform.cores[idx], core_set)
+            is_schedulable(core_set, "proposed", method="closed_form")
+            analysed += 1
+        assert analysed >= 1
+        placed = sum(
+            len(cs) for cs in result.assignments if cs is not None
+        )
+        assert placed == 8

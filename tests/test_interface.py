@@ -1,0 +1,107 @@
+"""Unit tests for analysis result types and options."""
+
+import math
+
+import pytest
+
+from repro.analysis.interface import AnalysisOptions, TaskResult, TaskSetResult
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+
+@pytest.fixture
+def ts():
+    return TaskSet(
+        [
+            Task.sporadic("a", 1.0, 10.0, deadline=8.0, priority=0),
+            Task.sporadic("b", 2.0, 20.0, deadline=15.0, priority=1),
+        ]
+    )
+
+
+def _result(task, wcrt):
+    return TaskResult(task=task, wcrt=wcrt)
+
+
+class TestTaskResult:
+    def test_schedulable_boundary(self, ts):
+        task = ts.by_name("a")
+        assert _result(task, 8.0).schedulable
+        assert not _result(task, 8.01).schedulable
+
+    def test_slack(self, ts):
+        task = ts.by_name("a")
+        assert _result(task, 5.0).slack == pytest.approx(3.0)
+        assert _result(task, math.inf).slack == -math.inf
+
+    def test_infinite_wcrt_unschedulable(self, ts):
+        assert not _result(ts.by_name("a"), math.inf).schedulable
+
+
+class TestTaskSetResult:
+    def test_requires_all_tasks(self, ts):
+        with pytest.raises(ValueError):
+            TaskSetResult(
+                taskset=ts,
+                results=(_result(ts.by_name("a"), 1.0),),
+                protocol="nps",
+            )
+
+    def test_schedulable_aggregation(self, ts):
+        good = TaskSetResult(
+            taskset=ts,
+            results=(
+                _result(ts.by_name("a"), 7.0),
+                _result(ts.by_name("b"), 10.0),
+            ),
+            protocol="nps",
+        )
+        assert good.schedulable
+        assert good.first_miss is None
+
+    def test_first_miss_is_highest_priority(self, ts):
+        result = TaskSetResult(
+            taskset=ts,
+            results=(
+                _result(ts.by_name("b"), 99.0),
+                _result(ts.by_name("a"), 99.0),
+            ),
+            protocol="nps",
+        )
+        assert result.first_miss.task.name == "a"
+
+    def test_result_for(self, ts):
+        result = TaskSetResult(
+            taskset=ts,
+            results=(
+                _result(ts.by_name("a"), 1.0),
+                _result(ts.by_name("b"), 2.0),
+            ),
+            protocol="nps",
+        )
+        assert result.result_for("b").wcrt == 2.0
+        with pytest.raises(KeyError):
+            result.result_for("zzz")
+
+    def test_summary_rows_order(self, ts):
+        result = TaskSetResult(
+            taskset=ts,
+            results=(
+                _result(ts.by_name("a"), 1.0),
+                _result(ts.by_name("b"), 2.0),
+            ),
+            protocol="nps",
+        )
+        assert [row[0] for row in result.summary_rows()] == ["a", "b"]
+
+
+class TestAnalysisOptions:
+    def test_defaults(self):
+        options = AnalysisOptions()
+        assert options.stop_at_deadline
+        assert options.time_limit is None
+
+    def test_frozen(self):
+        options = AnalysisOptions()
+        with pytest.raises(AttributeError):
+            options.max_iterations = 5  # type: ignore[misc]

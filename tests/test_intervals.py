@@ -1,0 +1,79 @@
+"""Unit tests for the interval-count bounds (Theorem 1 / Corollary 1)."""
+
+import pytest
+
+from repro.analysis.proposed.intervals import (
+    interval_count_ls,
+    interval_count_nls,
+)
+from repro.model.taskset import TaskSet
+
+
+@pytest.fixture
+def ts():
+    return TaskSet.from_parameters(
+        [
+            ("a", 1.0, 0.1, 0.1, 10.0, 8.0),
+            ("b", 1.0, 0.1, 0.1, 20.0, 16.0),
+            ("c", 1.0, 0.1, 0.1, 40.0, 32.0),
+            ("d", 1.0, 0.1, 0.1, 80.0, 64.0),
+        ]
+    )
+
+
+class TestNlsCount:
+    def test_matches_theorem_for_middle_task(self, ts):
+        c = ts.by_name("c")  # hp = {a, b}, lp = {d}
+        window = 15.0
+        expected = (ts.by_name("a").eta(15.0) + 1) + (
+            ts.by_name("b").eta(15.0) + 1
+        )
+        # one lp task -> one blocking interval plus the release bubble,
+        # +1 for the task's own execution interval
+        assert interval_count_nls(ts, c, window) == expected + 2 + 1
+
+    def test_two_blockers_when_two_lp_exist(self, ts):
+        b = ts.by_name("b")  # lp = {c, d}
+        window = 5.0
+        interference = ts.by_name("a").eta(5.0) + 1
+        assert interval_count_nls(ts, b, window) == interference + 2 + 1
+
+    def test_highest_priority_counts_only_blocking(self, ts):
+        a = ts.by_name("a")
+        assert interval_count_nls(ts, a, 5.0) == 2 + 1
+
+    def test_floor_of_two_for_isolated_task(self, single_task_set):
+        task = single_task_set[0]
+        assert interval_count_nls(single_task_set, task, 5.0) == 2
+
+    def test_grows_with_window(self, ts):
+        d = ts.by_name("d")
+        assert interval_count_nls(ts, d, 50.0) > interval_count_nls(
+            ts, d, 5.0
+        )
+
+
+class TestLsCount:
+    def test_one_fewer_blocker_than_nls(self, ts):
+        b = ts.by_name("b")
+        window = 5.0
+        assert (
+            interval_count_nls(ts, b, window)
+            - interval_count_ls(ts, b, window)
+            == 1
+        )
+
+    def test_no_lp_tasks_one_fewer_than_nls(self, ts):
+        # With no lp tasks, NLS still pays the release bubble; an LS
+        # task cannot (a bubble would have promoted it: case (b)).
+        d = ts.by_name("d")  # lowest priority: no lp at all
+        window = 5.0
+        assert (
+            interval_count_nls(ts, d, window)
+            - interval_count_ls(ts, d, window)
+            == 1
+        )
+
+    def test_floor_of_two(self, single_task_set):
+        task = single_task_set[0]
+        assert interval_count_ls(single_task_set, task, 1.0) == 2

@@ -1,0 +1,100 @@
+"""Unit tests for task-set serialisation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.io import (
+    load_taskset,
+    save_taskset,
+    taskset_from_csv,
+    taskset_from_json,
+    taskset_to_csv,
+    taskset_to_json,
+)
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+
+@pytest.fixture
+def ts():
+    return TaskSet(
+        [
+            Task.sporadic("a", 1.0, 10.0, deadline=8.0, copy_in=0.2,
+                          copy_out=0.3, priority=0, latency_sensitive=True,
+                          footprint=4096),
+            Task.sporadic("b", 2.0, 20.0, deadline=18.0, copy_in=0.4,
+                          copy_out=0.4, priority=1),
+        ]
+    )
+
+
+class TestCsv:
+    def test_round_trip_parameters(self, ts):
+        back = taskset_from_csv(taskset_to_csv(ts))
+        for name in ("a", "b"):
+            original, loaded = ts.by_name(name), back.by_name(name)
+            assert loaded.exec_time == original.exec_time
+            assert loaded.copy_in == original.copy_in
+            assert loaded.period == original.period
+            assert loaded.deadline == original.deadline
+
+    def test_csv_does_not_carry_ls_marks(self, ts):
+        back = taskset_from_csv(taskset_to_csv(ts))
+        assert not back.by_name("a").latency_sensitive
+
+    def test_missing_columns(self):
+        with pytest.raises(ModelError):
+            taskset_from_csv("name,wcet\na,1\n")
+
+    def test_malformed_number(self):
+        with pytest.raises(ModelError):
+            taskset_from_csv("name,C,l,u,T,D\na,soon,0,0,10,9\n")
+
+    def test_empty_body(self):
+        with pytest.raises(ModelError):
+            taskset_from_csv("name,C,l,u,T,D\n")
+
+
+class TestJson:
+    def test_lossless_round_trip(self, ts):
+        back = taskset_from_json(taskset_to_json(ts))
+        assert back == ts  # Task equality covers all compared fields
+        assert back.by_name("a").latency_sensitive
+        assert back.by_name("a").footprint == 4096
+
+    def test_defaults_for_optional_fields(self):
+        text = (
+            '{"tasks": [{"name": "x", "exec_time": 1.0, "period": 10.0,'
+            ' "deadline": 9.0, "priority": 0}]}'
+        )
+        ts = taskset_from_json(text)
+        assert ts.by_name("x").copy_in == 0.0
+        assert not ts.by_name("x").latency_sensitive
+
+    def test_invalid_json(self):
+        with pytest.raises(ModelError):
+            taskset_from_json("{nope")
+
+    def test_missing_tasks_key(self):
+        with pytest.raises(ModelError):
+            taskset_from_json('{"jobs": []}')
+
+    def test_missing_required_field(self):
+        with pytest.raises(ModelError):
+            taskset_from_json('{"tasks": [{"name": "x"}]}')
+
+
+class TestFiles:
+    def test_save_load_csv(self, ts, tmp_path):
+        path = tmp_path / "set.csv"
+        save_taskset(ts, path)
+        assert len(load_taskset(path)) == 2
+
+    def test_save_load_json(self, ts, tmp_path):
+        path = tmp_path / "set.json"
+        save_taskset(ts, path)
+        assert load_taskset(path) == ts
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ModelError):
+            load_taskset(tmp_path / "ghost.csv")

@@ -1,0 +1,91 @@
+"""Unit tests for trace metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.examples_support import figure1_plan, figure1_taskset
+from repro.model.taskset import TaskSet
+from repro.sim.interval_sim import ProposedSimulator, WaslySimulator
+from repro.sim.metrics import (
+    compute_metrics,
+    render_metrics,
+    text_histogram,
+)
+from repro.sim.nps_sim import NpsSimulator
+from repro.sim.releases import sporadic_plan
+from repro.sim.trace import Trace
+
+
+@pytest.fixture
+def wasly_metrics():
+    trace = WaslySimulator(figure1_taskset()).run(figure1_plan())
+    return compute_metrics(trace)
+
+
+class TestComputeMetrics:
+    def test_per_task_counts(self, wasly_metrics):
+        assert set(wasly_metrics.per_task) == {"tp", "ti", "lp1", "lp2"}
+        assert wasly_metrics.per_task["ti"].count == 1
+
+    def test_miss_detected(self, wasly_metrics):
+        assert wasly_metrics.per_task["ti"].misses == 1
+        assert wasly_metrics.worst_miss_ratio == 1.0
+
+    def test_busy_fractions_in_unit_interval(self, wasly_metrics):
+        assert 0.0 < wasly_metrics.cpu_busy_fraction <= 1.0
+        assert 0.0 < wasly_metrics.dma_busy_fraction <= 1.0
+
+    def test_interval_statistics(self, wasly_metrics):
+        assert wasly_metrics.interval_count > 0
+        assert wasly_metrics.mean_interval_length > 0
+
+    def test_nps_trace_has_no_intervals(self):
+        trace = NpsSimulator(figure1_taskset()).run(figure1_plan())
+        metrics = compute_metrics(trace)
+        assert metrics.interval_count == 0
+        assert math.isnan(metrics.mean_interval_length)
+        assert metrics.dma_busy_fraction == 0.0  # everything on the CPU
+
+    def test_proposed_counts_cancellations_and_urgency(self):
+        ts = figure1_taskset(mark_ls=True)
+        trace = ProposedSimulator(ts).run(figure1_plan())
+        metrics = compute_metrics(trace)
+        assert metrics.cancellations >= 1
+        assert metrics.urgent_executions >= 1
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            compute_metrics(Trace(jobs=[]))
+
+    def test_stats_ordering(self):
+        ts = TaskSet.from_parameters(
+            [
+                ("a", 1.0, 0.1, 0.1, 10.0, 9.0),
+                ("b", 2.0, 0.2, 0.2, 20.0, 18.0),
+            ]
+        )
+        rng = np.random.default_rng(4)
+        trace = WaslySimulator(ts).run(sporadic_plan(ts, 400.0, rng))
+        metrics = compute_metrics(trace)
+        for stats in metrics.per_task.values():
+            assert stats.minimum <= stats.mean <= stats.maximum
+            assert stats.mean <= stats.p95 + 1e-9 or stats.count < 5
+
+
+class TestRendering:
+    def test_render_metrics_mentions_tasks(self, wasly_metrics):
+        text = render_metrics(wasly_metrics)
+        for name in ("tp", "ti", "lp1", "lp2"):
+            assert name in text
+
+    def test_histogram_bars_scale(self):
+        art = text_histogram([1, 1, 1, 2, 3], bins=3, width=10, title="h")
+        lines = art.splitlines()
+        assert lines[0] == "h"
+        assert any("##########" in line for line in lines)
+
+    def test_histogram_empty(self):
+        assert "(no data)" in text_histogram([], title="x")

@@ -1,0 +1,161 @@
+"""Unit and cross-validation tests for the two MILP backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolverError
+from repro.milp import (
+    BranchBoundBackend,
+    HighsBackend,
+    MilpModel,
+    SolveStatus,
+)
+from repro.milp.expr import LinExpr
+
+
+def knapsack_model(values, weights, capacity):
+    m = MilpModel("knapsack")
+    xs = [m.binary(f"x{i}") for i in range(len(values))]
+    m.add(LinExpr.total(w * x for w, x in zip(weights, xs)) <= capacity)
+    m.maximize(LinExpr.total(v * x for v, x in zip(values, xs)))
+    return m, xs
+
+
+class TestHighsBackend:
+    def test_simple_lp(self):
+        m = MilpModel()
+        x = m.continuous("x", 0, 4)
+        m.maximize(x)
+        sol = m.solve(HighsBackend())
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(4.0)
+
+    def test_knapsack(self):
+        m, xs = knapsack_model([10, 13, 7], [5, 6, 4], 10)
+        sol = m.solve(HighsBackend())
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(20.0)  # items 1 and 2
+        assert sol[xs[1]] == pytest.approx(1.0)
+
+    def test_infeasible(self):
+        m = MilpModel()
+        x = m.continuous("x", 0, 1)
+        m.add(x >= 2)
+        m.maximize(x)
+        assert m.solve(HighsBackend()).status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        m = MilpModel()
+        x = m.continuous("x")
+        m.maximize(x)
+        assert m.solve(HighsBackend()).status is SolveStatus.UNBOUNDED
+
+    def test_objective_constant_carried(self):
+        m = MilpModel()
+        x = m.continuous("x", 0, 3)
+        m.maximize(x + 7)
+        assert m.solve(HighsBackend()).objective == pytest.approx(10.0)
+
+    def test_integer_values_snapped(self):
+        m, xs = knapsack_model([3, 5], [2, 3], 5)
+        sol = m.solve(HighsBackend())
+        for x in xs:
+            assert sol[x] in (0.0, 1.0)
+
+    def test_value_by_name(self):
+        m = MilpModel()
+        x = m.continuous("velocity", 0, 2)
+        m.maximize(x)
+        sol = m.solve(HighsBackend())
+        assert sol.value_by_name("velocity") == pytest.approx(2.0)
+        with pytest.raises(KeyError):
+            sol.value_by_name("missing")
+
+    def test_binaries_set(self):
+        m, xs = knapsack_model([1, 100], [1, 1], 1)
+        sol = m.solve(HighsBackend())
+        assert sol.binaries_set() == ("x1",)
+
+
+class TestBranchBoundBackend:
+    def test_knapsack(self):
+        m, _ = knapsack_model([10, 13, 7], [5, 6, 4], 10)
+        sol = m.solve(BranchBoundBackend())
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(20.0)
+
+    def test_infeasible(self):
+        m = MilpModel()
+        x = m.continuous("x", 0, 1)
+        m.add(x >= 2)
+        m.maximize(x)
+        assert m.solve(BranchBoundBackend()).status is SolveStatus.INFEASIBLE
+
+    def test_equality_constraints(self):
+        m = MilpModel()
+        x = m.var("x", 0, 10, integer=True)
+        y = m.var("y", 0, 10, integer=True)
+        m.add(x + y == 7)
+        m.maximize(2 * x + y)
+        sol = m.solve(BranchBoundBackend())
+        assert sol.objective == pytest.approx(14.0)
+        assert sol[x] == pytest.approx(7.0)
+
+    def test_node_budget_reports_safe_bound(self):
+        # A model the budget cannot finish: the dual bound must still
+        # be an upper bound on the true optimum.
+        rng = np.random.default_rng(3)
+        values = rng.integers(10, 100, size=14).tolist()
+        weights = rng.integers(5, 50, size=14).tolist()
+        m, _ = knapsack_model(values, weights, int(sum(weights) * 0.4))
+        exact = m.solve(HighsBackend()).objective
+        sol = m.solve(BranchBoundBackend(max_nodes=3))
+        assert sol.status in (SolveStatus.TIME_LIMIT, SolveStatus.OPTIMAL)
+        assert sol.objective >= exact - 1e-6
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(SolverError):
+            BranchBoundBackend(max_nodes=0)
+
+    def test_pure_lp(self):
+        m = MilpModel()
+        x = m.continuous("x", 0, 2.5)
+        m.maximize(3 * x)
+        sol = m.solve(BranchBoundBackend())
+        assert sol.objective == pytest.approx(7.5)
+
+
+class TestBackendAgreement:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.integers(2, 6),
+        st.integers(0, 10_000),
+    )
+    def test_backends_agree_on_random_knapsacks(self, n, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(1, 40, size=n).tolist()
+        weights = rng.integers(1, 20, size=n).tolist()
+        capacity = max(1, int(sum(weights) * 0.5))
+        m, _ = knapsack_model(values, weights, capacity)
+        a = m.solve(HighsBackend())
+        b = m.solve(BranchBoundBackend())
+        assert a.status is SolveStatus.OPTIMAL
+        assert b.status is SolveStatus.OPTIMAL
+        assert a.objective == pytest.approx(b.objective, abs=1e-6)
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(0, 10_000))
+    def test_backends_agree_with_equalities_and_continuous(self, seed):
+        rng = np.random.default_rng(seed)
+        m = MilpModel()
+        xs = [m.binary(f"b{i}") for i in range(4)]
+        z = m.continuous("z", 0, 10)
+        coefs = rng.integers(1, 5, size=4).tolist()
+        m.add(LinExpr.total(c * x for c, x in zip(coefs, xs)) + z <= 12)
+        m.add(xs[0] + xs[1] == 1)
+        weights = rng.integers(1, 9, size=4).tolist()
+        m.maximize(LinExpr.total(w * x for w, x in zip(weights, xs)) + 0.5 * z)
+        a = m.solve(HighsBackend())
+        b = m.solve(BranchBoundBackend())
+        assert a.objective == pytest.approx(b.objective, abs=1e-6)

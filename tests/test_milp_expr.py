@@ -1,0 +1,125 @@
+"""Unit tests for MILP expressions and constraints."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.milp.expr import Constraint, LinExpr, Var
+
+
+@pytest.fixture
+def x():
+    return Var("x", 0.0, 10.0)
+
+
+@pytest.fixture
+def y():
+    return Var("y", 0.0, 1.0, integer=True)
+
+
+class TestVar:
+    def test_binary_detection(self, x, y):
+        assert y.is_binary
+        assert not x.is_binary
+
+    def test_integer_with_wide_bounds_not_binary(self):
+        assert not Var("z", 0, 5, integer=True).is_binary
+
+    def test_rejects_crossed_bounds(self):
+        with pytest.raises(SolverError):
+            Var("bad", 5.0, 1.0)
+
+    def test_repr_mentions_kind(self, x, y):
+        assert "cont" in repr(x)
+        assert "bin" in repr(y)
+
+
+class TestArithmetic:
+    def test_var_plus_var(self, x, y):
+        expr = x + y
+        assert expr.terms[x] == 1.0
+        assert expr.terms[y] == 1.0
+
+    def test_var_times_scalar(self, x):
+        expr = 3 * x
+        assert expr.terms[x] == 3.0
+
+    def test_combined_affine(self, x, y):
+        expr = 2 * x - 3 * y + 5
+        assert expr.terms[x] == 2.0
+        assert expr.terms[y] == -3.0
+        assert expr.constant == 5.0
+
+    def test_negation(self, x):
+        assert (-x).terms[x] == -1.0
+
+    def test_rsub(self, x):
+        expr = 10 - x
+        assert expr.constant == 10.0
+        assert expr.terms[x] == -1.0
+
+    def test_sum_collapses_duplicates(self, x):
+        expr = x + x + x
+        assert expr.terms[x] == 3.0
+
+    def test_total_like_lpsum(self, x, y):
+        expr = LinExpr.total([x, 2 * y, 4])
+        assert expr.terms[x] == 1.0
+        assert expr.terms[y] == 2.0
+        assert expr.constant == 4.0
+
+    def test_total_of_empty(self):
+        expr = LinExpr.total([])
+        assert expr.terms == {}
+        assert expr.constant == 0.0
+
+    def test_expr_times_expr_rejected(self, x, y):
+        with pytest.raises(SolverError):
+            (x + 1) * (y + 1)  # type: ignore[operator]
+
+    def test_from_rejects_garbage(self):
+        with pytest.raises(SolverError):
+            LinExpr.from_("nonsense")  # type: ignore[arg-type]
+
+    def test_value_evaluation(self, x, y):
+        expr = 2 * x + y - 1
+        assert expr.value({x: 3.0, y: 1.0}) == pytest.approx(6.0)
+
+
+class TestConstraints:
+    def test_le_builds_constraint(self, x, y):
+        con = x + y <= 5
+        assert isinstance(con, Constraint)
+        assert con.sense == "<="
+        assert con.bounds() == (-float("inf"), 5.0)
+
+    def test_ge_bounds(self, x):
+        con = x >= 2
+        assert con.bounds() == (2.0, float("inf"))
+
+    def test_eq_bounds(self, x, y):
+        con = x + 2 * y == 4
+        assert con.bounds() == (4.0, 4.0)
+
+    def test_var_eq_var(self, x, y):
+        con = x == y
+        assert isinstance(con, Constraint)
+        assert con.sense == "=="
+
+    def test_satisfied(self, x, y):
+        con = x + y <= 5
+        assert con.satisfied({x: 2.0, y: 1.0})
+        assert not con.satisfied({x: 5.0, y: 1.0})
+
+    def test_satisfied_eq_with_tolerance(self, x):
+        con = x == 3
+        assert con.satisfied({x: 3.0000001}, tol=1e-3)
+        assert not con.satisfied({x: 3.01}, tol=1e-3)
+
+    def test_named(self, x):
+        con = (x <= 1).named("cap")
+        assert con.name == "cap"
+        assert "cap" in repr(con)
+
+    def test_invalid_sense_rejected(self, x):
+        with pytest.raises(SolverError):
+            Constraint(LinExpr({x: 1.0}), "<")

@@ -1,0 +1,103 @@
+"""Unit tests for the MILP model container and compilation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.milp.model import MilpModel
+
+
+class TestVariableRegistration:
+    def test_duplicate_names_rejected(self):
+        m = MilpModel()
+        m.var("x")
+        with pytest.raises(SolverError):
+            m.var("x")
+
+    def test_binary_bounds(self):
+        m = MilpModel()
+        b = m.binary("b")
+        assert (b.lower, b.upper, b.integer) == (0.0, 1.0, True)
+
+    def test_indices_assigned_in_order(self):
+        m = MilpModel()
+        vs = [m.var(f"v{i}") for i in range(5)]
+        assert [v.index for v in vs] == list(range(5))
+
+
+class TestConstraintRegistration:
+    def test_foreign_variable_rejected(self):
+        m1, m2 = MilpModel("a"), MilpModel("b")
+        x1 = m1.var("x")
+        with pytest.raises(SolverError):
+            m2.add(x1 <= 1)
+
+    def test_non_constraint_rejected(self):
+        m = MilpModel()
+        m.var("x")
+        with pytest.raises(SolverError):
+            m.add(True)  # type: ignore[arg-type]
+
+    def test_add_all_names_with_prefix(self):
+        m = MilpModel()
+        x = m.var("x")
+        m.add_all([x <= 1, x <= 2], prefix="cap")
+        assert [c.name for c in m.constraints] == ["cap[0]", "cap[1]"]
+
+
+class TestCompile:
+    def test_empty_model_rejected(self):
+        with pytest.raises(SolverError):
+            MilpModel().compile()
+
+    def test_matrix_shape_and_content(self):
+        m = MilpModel()
+        x = m.var("x", 0, 4)
+        b = m.binary("b")
+        m.add(x + 2 * b <= 3)
+        m.add(x - b >= 1)
+        m.maximize(x + 10 * b)
+        c = m.compile()
+        assert c.row_matrix.shape == (2, 2)
+        np.testing.assert_allclose(c.objective, [1.0, 10.0])
+        np.testing.assert_allclose(c.row_matrix[0], [1.0, 2.0])
+        assert c.row_upper[0] == 3.0
+        assert c.row_lower[1] == 1.0
+        assert list(c.integrality) == [0, 1]
+
+    def test_minimize_negates(self):
+        m = MilpModel()
+        x = m.var("x", 0, 4)
+        m.minimize(x + 1)
+        c = m.compile()
+        np.testing.assert_allclose(c.objective, [-1.0])
+        assert c.objective_constant == -1.0
+
+    def test_stats(self):
+        m = MilpModel()
+        m.var("x")
+        m.binary("b")
+        m.add(m.variables[0] <= 1)
+        assert m.stats() == {"variables": 2, "integers": 1, "constraints": 1}
+
+
+class TestCheckAssignment:
+    def test_reports_violations(self):
+        m = MilpModel()
+        x = m.var("x", 0, 10)
+        m.add((x <= 3).named("cap"))
+        violated = m.check_assignment([5.0])
+        assert len(violated) == 1
+        assert violated[0].name == "cap"
+
+    def test_length_mismatch(self):
+        m = MilpModel()
+        m.var("x")
+        with pytest.raises(SolverError):
+            m.check_assignment([1.0, 2.0])
+
+    def test_clean_assignment(self):
+        m = MilpModel()
+        x = m.var("x", 0, 10)
+        m.add(x <= 3)
+        assert m.check_assignment([2.0]) == []

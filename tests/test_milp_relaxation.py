@@ -1,0 +1,75 @@
+"""Unit tests for the LP-relaxation backend."""
+
+import pytest
+
+from repro.milp import (
+    HighsBackend,
+    LpRelaxationBackend,
+    MilpModel,
+    SolveStatus,
+)
+
+
+class TestLpRelaxation:
+    def test_relaxed_maximum_at_least_integer_optimum(self):
+        m = MilpModel()
+        x = m.binary("x")
+        y = m.binary("y")
+        m.add(2 * x + 3 * y <= 4)
+        m.maximize(5 * x + 4 * y)
+        exact = m.solve(HighsBackend())
+        relaxed = m.solve(LpRelaxationBackend())
+        assert relaxed.status is SolveStatus.OPTIMAL
+        assert relaxed.objective >= exact.objective - 1e-9
+
+    def test_fractional_values_allowed(self):
+        m = MilpModel()
+        x = m.binary("x")
+        m.add(2 * x <= 1)
+        m.maximize(x)
+        relaxed = m.solve(LpRelaxationBackend())
+        assert relaxed[x] == pytest.approx(0.5)
+
+    def test_pure_lp_matches_exact(self):
+        m = MilpModel()
+        x = m.continuous("x", 0, 7)
+        m.maximize(2 * x)
+        assert m.solve(LpRelaxationBackend()).objective == pytest.approx(14.0)
+
+    def test_infeasible(self):
+        m = MilpModel()
+        x = m.continuous("x", 0, 1)
+        m.add(x >= 3)
+        m.maximize(x)
+        assert (
+            m.solve(LpRelaxationBackend()).status is SolveStatus.INFEASIBLE
+        )
+
+    def test_unbounded(self):
+        m = MilpModel()
+        x = m.continuous("x")
+        m.maximize(x)
+        assert (
+            m.solve(LpRelaxationBackend()).status is SolveStatus.UNBOUNDED
+        )
+
+    def test_objective_constant(self):
+        m = MilpModel()
+        x = m.continuous("x", 0, 1)
+        m.maximize(x + 10)
+        assert m.solve(LpRelaxationBackend()).objective == pytest.approx(11.0)
+
+    def test_on_delay_milp(self, tiny_taskset):
+        from repro.analysis.proposed.formulation import (
+            AnalysisMode,
+            build_delay_milp,
+        )
+
+        task = tiny_taskset.by_name("mid")
+        built = build_delay_milp(
+            tiny_taskset, task, 10.0, AnalysisMode.NLS
+        )
+        exact = built.model.solve(HighsBackend())
+        relaxed = built.model.solve(LpRelaxationBackend())
+        assert relaxed.objective >= exact.objective - 1e-9
+        assert relaxed.runtime_seconds <= exact.runtime_seconds + 1.0

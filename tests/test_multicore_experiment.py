@@ -1,0 +1,82 @@
+"""Unit tests for the multicore experiment module."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.multicore import (
+    MulticoreConfig,
+    run_multicore_point,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = MulticoreConfig()
+        assert config.num_cores == 4
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ExperimentError):
+            MulticoreConfig(num_cores=0)
+        with pytest.raises(ExperimentError):
+            MulticoreConfig(n_tasks=0)
+        with pytest.raises(ExperimentError):
+            MulticoreConfig(total_utilization=0.0)
+
+
+class TestRunPoint:
+    def test_light_load_mostly_schedulable(self):
+        config = MulticoreConfig(
+            num_cores=4,
+            n_tasks=8,
+            total_utilization=0.4,
+            gamma=0.1,
+            method="closed_form",
+        )
+        result = run_multicore_point(config, systems=4, seed=5)
+        assert result.systems_evaluated == 4
+        for protocol in config.protocols:
+            assert 0.0 <= result.ratios[protocol] <= 1.0
+        # A 0.1-per-core load should pass at least sometimes.
+        assert max(result.ratios.values()) > 0.0
+
+    def test_overload_unpartitionable(self):
+        config = MulticoreConfig(
+            num_cores=1,
+            n_tasks=6,
+            total_utilization=2.5,
+            gamma=0.1,
+            method="closed_form",
+        )
+        result = run_multicore_point(config, systems=3, seed=1)
+        assert result.partition_failures == 3
+        assert all(r == 0.0 for r in result.ratios.values())
+
+    def test_reproducible(self):
+        config = MulticoreConfig(
+            num_cores=2, n_tasks=6, total_utilization=0.5,
+            method="closed_form",
+        )
+        a = run_multicore_point(config, systems=3, seed=7)
+        b = run_multicore_point(config, systems=3, seed=7)
+        assert a.ratios == b.ratios
+
+    def test_rejects_nonpositive_systems(self):
+        with pytest.raises(ExperimentError):
+            run_multicore_point(MulticoreConfig(), systems=0, seed=1)
+
+    def test_more_cores_never_hurt(self):
+        base = dict(
+            n_tasks=8, total_utilization=0.8, gamma=0.1,
+            method="closed_form",
+        )
+        small = run_multicore_point(
+            MulticoreConfig(num_cores=2, **base), systems=5, seed=3
+        )
+        large = run_multicore_point(
+            MulticoreConfig(num_cores=6, **base), systems=5, seed=3
+        )
+        # Same workloads spread over more cores: the proposed ratio
+        # must not drop (worst-fit spreads by utilisation).
+        assert (
+            large.ratios["proposed"] >= small.ratios["proposed"] - 1e-9
+        )

@@ -1,0 +1,92 @@
+"""Unit tests for multicore partitioning heuristics."""
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.model.partitioning import partition_tasks
+from repro.model.platform import Platform
+from repro.model.task import Task
+
+
+def _task(name, util, prio, footprint=None):
+    period = 10.0
+    return Task.sporadic(
+        name,
+        exec_time=util * period,
+        period=period,
+        priority=prio,
+        footprint=footprint,
+    )
+
+
+class TestPartitioning:
+    def test_first_fit_packs_in_order(self):
+        platform = Platform.homogeneous(2)
+        tasks = [_task("a", 0.6, 0), _task("b", 0.5, 1), _task("c", 0.3, 2)]
+        result = partition_tasks(tasks, platform, "first_fit")
+        # decreasing: a(0.6)->core0, b(0.5)->core1, c(0.3)->core0
+        assert result.core_of(tasks[0]) == 0
+        assert result.core_of(tasks[1]) == 1
+        assert result.core_of(tasks[2]) == 0
+
+    def test_worst_fit_balances(self):
+        platform = Platform.homogeneous(2)
+        tasks = [_task("a", 0.4, 0), _task("b", 0.4, 1), _task("c", 0.1, 2)]
+        result = partition_tasks(tasks, platform, "worst_fit")
+        utils = result.per_core_utilization
+        assert max(utils) - min(utils) < 0.4  # c lands on the lighter core
+
+    def test_best_fit_fills_tightest(self):
+        platform = Platform.homogeneous(2)
+        tasks = [_task("a", 0.7, 0), _task("b", 0.2, 1), _task("c", 0.25, 2)]
+        result = partition_tasks(tasks, platform, "best_fit")
+        # Decreasing order: a (0.7) opens core 0; c (0.25) best-fits the
+        # tighter core 0; b (0.2) no longer fits there and opens core 1.
+        assert result.core_of(tasks[2]) == result.core_of(tasks[0])
+        assert result.core_of(tasks[1]) != result.core_of(tasks[0])
+
+    def test_unplaceable_task_raises(self):
+        platform = Platform.homogeneous(1)
+        tasks = [_task("a", 0.7, 0), _task("b", 0.7, 1)]
+        with pytest.raises(PartitioningError):
+            partition_tasks(tasks, platform)
+
+    def test_respects_footprints(self):
+        platform = Platform.homogeneous(1, memory_bytes=1024)
+        tasks = [_task("a", 0.1, 0, footprint=4096)]
+        with pytest.raises(PartitioningError):
+            partition_tasks(tasks, platform)
+
+    def test_unknown_heuristic(self):
+        platform = Platform.homogeneous(1)
+        with pytest.raises(PartitioningError):
+            partition_tasks([_task("a", 0.1, 0)], platform, "magic")  # type: ignore[arg-type]
+
+    def test_invalid_capacity(self):
+        platform = Platform.homogeneous(1)
+        with pytest.raises(PartitioningError):
+            partition_tasks([_task("a", 0.1, 0)], platform, capacity=0.0)
+
+    def test_empty_core_is_none(self):
+        platform = Platform.homogeneous(3)
+        tasks = [_task("a", 0.1, 0)]
+        result = partition_tasks(tasks, platform)
+        assert result.assignments[0] is not None
+        assert result.assignments[1] is None
+        assert result.assignments[2] is None
+
+    def test_core_of_unassigned_raises(self):
+        platform = Platform.homogeneous(1)
+        result = partition_tasks([_task("a", 0.1, 0)], platform)
+        with pytest.raises(PartitioningError):
+            result.core_of(_task("ghost", 0.1, 5))
+
+    def test_all_assignments_are_valid_tasksets(self):
+        platform = Platform.homogeneous(2)
+        tasks = [_task(f"t{i}", 0.15, i) for i in range(8)]
+        result = partition_tasks(tasks, platform, "worst_fit")
+        placed = sum(len(ts) for ts in result.assignments if ts is not None)
+        assert placed == 8
+        for ts in result.assignments:
+            if ts is not None:
+                assert ts.total_utilization <= 1.0 + 1e-9

@@ -1,0 +1,111 @@
+"""Unit tests for the platform model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.platform import (
+    Core,
+    DmaEngine,
+    LocalMemory,
+    Platform,
+    copy_times_from_footprint,
+)
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+
+class TestLocalMemory:
+    def test_partition_is_half(self):
+        assert LocalMemory(1024).partition_bytes == 512
+
+    def test_rejects_odd_size(self):
+        with pytest.raises(ModelError):
+            LocalMemory(1023)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ModelError):
+            LocalMemory(0)
+
+    def test_fits_with_and_without_footprint(self):
+        memory = LocalMemory(1024)
+        no_fp = Task.sporadic("a", 1.0, 10.0)
+        small = Task.sporadic("b", 1.0, 10.0, footprint=512)
+        big = Task.sporadic("c", 1.0, 10.0, footprint=513)
+        assert memory.fits(no_fp)
+        assert memory.fits(small)
+        assert not memory.fits(big)
+
+
+class TestDmaEngine:
+    def test_transfer_time_linear(self):
+        dma = DmaEngine(bandwidth_bytes_per_ms=1000.0, setup_time=0.5)
+        assert dma.transfer_time(2000) == pytest.approx(2.5)
+
+    def test_zero_bytes_is_free(self):
+        dma = DmaEngine(1000.0, setup_time=0.5)
+        assert dma.transfer_time(0) == 0.0
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ModelError):
+            DmaEngine(1000.0).transfer_time(-1)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ModelError):
+            DmaEngine(0.0)
+        with pytest.raises(ModelError):
+            DmaEngine(10.0, setup_time=-1.0)
+
+
+class TestPlatform:
+    def test_homogeneous_builder(self):
+        platform = Platform.homogeneous(4)
+        assert platform.num_cores == 4
+        assert [c.index for c in platform.cores] == [0, 1, 2, 3]
+
+    def test_rejects_bad_indices(self):
+        memory, dma = LocalMemory(1024), DmaEngine(1000.0)
+        with pytest.raises(ModelError):
+            Platform((Core(0, memory, dma), Core(2, memory, dma)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            Platform(())
+
+    def test_rejects_negative_core_index(self):
+        with pytest.raises(ModelError):
+            Core(-1, LocalMemory(1024), DmaEngine(1000.0))
+
+    def test_validate_taskset_flags_oversized(self):
+        platform = Platform.homogeneous(1, memory_bytes=1024)
+        core = platform.cores[0]
+        ts = TaskSet(
+            [
+                Task.sporadic("ok", 1.0, 10.0, priority=0, footprint=500),
+                Task.sporadic("big", 1.0, 10.0, priority=1, footprint=600),
+            ]
+        )
+        with pytest.raises(ModelError, match="big"):
+            platform.validate_taskset(core, ts)
+
+
+class TestCopyTimesFromFootprint:
+    @pytest.fixture
+    def core(self):
+        return Core(0, LocalMemory(64 * 1024), DmaEngine(1024.0, setup_time=0.1))
+
+    def test_derivation(self, core):
+        copy_in, copy_out = copy_times_from_footprint(2048, 1024, core)
+        assert copy_in == pytest.approx(0.1 + 2.0)
+        assert copy_out == pytest.approx(0.1 + 1.0)
+
+    def test_rejects_footprint_over_partition(self, core):
+        with pytest.raises(ModelError):
+            copy_times_from_footprint(64 * 1024, 10, core)
+
+    def test_rejects_output_exceeding_footprint(self, core):
+        with pytest.raises(ModelError):
+            copy_times_from_footprint(1024, 2048, core)
+
+    def test_rejects_nonpositive_footprint(self, core):
+        with pytest.raises(ModelError):
+            copy_times_from_footprint(0, 0, core)

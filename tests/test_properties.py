@@ -1,0 +1,185 @@
+"""Property-based cross-validation of analyses, simulators, and bounds.
+
+These are the scientifically load-bearing tests of the reproduction:
+
+* **Soundness** — no simulated schedule (a legal sporadic release
+  pattern) may ever exhibit a response time above the corresponding
+  analysis bound.
+* **Dominance chain** — the MILP bound never exceeds the closed-form
+  conservative bound.
+* **Structural invariants** — every simulated proposed-protocol trace
+  satisfies the paper's Properties 1-4.
+* **Backend agreement** — the two MILP backends reach the same optimum
+  on real delay formulations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analysis.interface import AnalysisOptions
+from repro.analysis.nps import NpsAnalysis
+from repro.analysis.proposed.closed_form import closed_form_delay_bound
+from repro.analysis.proposed.formulation import AnalysisMode, build_delay_milp
+from repro.analysis.proposed.response_time import ProposedAnalysis
+from repro.analysis.wasly import WaslyAnalysis
+from repro.milp import BranchBoundBackend, HighsBackend, SolveStatus
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+from repro.sim.interval_sim import ProposedSimulator, WaslySimulator
+from repro.sim.nps_sim import NpsSimulator
+from repro.sim.releases import sporadic_plan, synchronous_plan
+from repro.sim.validate import check_trace
+
+_EXACT = AnalysisOptions(stop_at_deadline=False, max_iterations=40)
+
+
+@st.composite
+def small_tasksets(draw, max_tasks=4, ls_marks=False):
+    """Small, low-utilisation task sets that keep MILPs tiny."""
+    n = draw(st.integers(2, max_tasks))
+    tasks = []
+    for i in range(n):
+        period = draw(st.sampled_from([8.0, 10.0, 16.0, 25.0, 40.0]))
+        exec_time = draw(st.sampled_from([0.5, 1.0, 1.5, 2.0]))
+        gamma = draw(st.sampled_from([0.0, 0.1, 0.3]))
+        ls = ls_marks and draw(st.booleans())
+        tasks.append(
+            Task.sporadic(
+                f"t{i}",
+                exec_time=exec_time,
+                period=period * (1 + i * 0.1),  # unique-ish periods
+                deadline=period,
+                copy_in=gamma * exec_time,
+                copy_out=gamma * exec_time,
+                priority=i,
+                latency_sensitive=ls,
+            )
+        )
+    return TaskSet(tasks)
+
+
+class TestSoundnessAgainstSimulation:
+    @settings(max_examples=12, deadline=None)
+    @given(small_tasksets(), st.integers(0, 10_000))
+    def test_nps_bound_covers_simulation(self, ts, seed):
+        rng = np.random.default_rng(seed)
+        plan = sporadic_plan(ts, 400.0, rng)
+        trace = NpsSimulator(ts).run(plan)
+        analysis = NpsAnalysis(_EXACT)
+        for task in ts:
+            bound = analysis.response_time(ts, task).wcrt
+            observed = trace.max_response_time(task.name)
+            assert observed <= bound + 1e-6, task.name
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_tasksets(), st.integers(0, 10_000))
+    def test_wasly_bound_covers_simulation(self, ts, seed):
+        rng = np.random.default_rng(seed)
+        plan = sporadic_plan(ts, 400.0, rng)
+        trace = WaslySimulator(ts).run(plan)
+        analysis = WaslyAnalysis(_EXACT)
+        for task in ts:
+            result = analysis.response_time(ts, task)
+            assume(result.converged)
+            observed = trace.max_response_time(task.name)
+            assert observed <= result.wcrt + 1e-6, task.name
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_tasksets(ls_marks=True), st.integers(0, 10_000))
+    def test_proposed_bound_covers_simulation(self, ts, seed):
+        rng = np.random.default_rng(seed)
+        plan = sporadic_plan(ts, 400.0, rng)
+        trace = ProposedSimulator(ts).run(plan)
+        check_trace(trace)
+        analysis = ProposedAnalysis(_EXACT)
+        for task in ts:
+            result = analysis.response_time(ts, task)
+            assume(result.converged)
+            observed = trace.max_response_time(task.name)
+            assert observed <= result.wcrt + 1e-6, task.name
+
+    @settings(max_examples=8, deadline=None)
+    @given(small_tasksets(ls_marks=True))
+    def test_proposed_bound_covers_synchronous_release(self, ts):
+        plan = synchronous_plan(ts, 300.0)
+        trace = ProposedSimulator(ts).run(plan)
+        check_trace(trace)
+        analysis = ProposedAnalysis(_EXACT)
+        for task in ts:
+            result = analysis.response_time(ts, task)
+            assume(result.converged)
+            assert trace.max_response_time(task.name) <= result.wcrt + 1e-6
+
+
+class TestDominance:
+    @settings(max_examples=12, deadline=None)
+    @given(small_tasksets())
+    def test_milp_never_exceeds_closed_form(self, ts):
+        analysis = ProposedAnalysis(_EXACT)
+        for task in ts:
+            result = analysis.response_time(ts, task)
+            assume(result.converged)
+            closed = closed_form_delay_bound(
+                ts, task, blocking_intervals=2, urgent_possible=True,
+                deadline_cap=1e12,
+            )
+            assert result.wcrt <= closed + 1e-6
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_tasksets())
+    def test_carry_nps_dominates_exact_nps(self, ts):
+        exact = NpsAnalysis(_EXACT, variant="exact")
+        carry = NpsAnalysis(_EXACT, variant="carry")
+        for task in ts:
+            r_exact = exact.response_time(ts, task)
+            r_carry = carry.response_time(ts, task)
+            if r_carry.converged and r_exact.converged:
+                assert r_carry.wcrt >= r_exact.wcrt - 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_tasksets(ls_marks=True))
+    def test_verdict_equals_full_analysis(self, ts):
+        analysis = ProposedAnalysis()
+        for task in ts:
+            assert analysis.verdict(ts, task) == analysis.response_time(
+                ts, task
+            ).schedulable
+
+
+class TestBackendAgreementOnDelayMilps:
+    @settings(max_examples=8, deadline=None)
+    @given(small_tasksets(max_tasks=3, ls_marks=True), st.floats(1.0, 30.0))
+    def test_backends_agree(self, ts, window):
+        task = ts[len(ts) // 2]
+        mode = (
+            AnalysisMode.LS_CASE_A
+            if task.latency_sensitive
+            else AnalysisMode.NLS
+        )
+        built = build_delay_milp(ts, task, window, mode)
+        a = built.model.solve(HighsBackend())
+        b = built.model.solve(BranchBoundBackend(max_nodes=100_000))
+        assert a.status is SolveStatus.OPTIMAL
+        assert b.status is SolveStatus.OPTIMAL
+        assert abs(a.objective - b.objective) <= 1e-5
+
+
+class TestSimulatedInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(small_tasksets(ls_marks=True), st.integers(0, 10_000))
+    def test_proposed_trace_invariants(self, ts, seed):
+        rng = np.random.default_rng(seed)
+        plan = sporadic_plan(ts, 300.0, rng)
+        trace = ProposedSimulator(ts).run(plan)
+        check_trace(trace)
+        assert len(trace.completed_jobs()) == len(trace.jobs)
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_tasksets(), st.integers(0, 10_000))
+    def test_wasly_trace_phase_ordering(self, ts, seed):
+        rng = np.random.default_rng(seed)
+        plan = sporadic_plan(ts, 300.0, rng)
+        trace = WaslySimulator(ts).run(plan)
+        check_trace(trace)

@@ -1,0 +1,178 @@
+"""Fine-grained protocol-rule scenarios (R2-R5 corner cases).
+
+Each test crafts a release pattern that forces one specific rule
+interaction and checks the simulator's decision against the rule text.
+"""
+
+import pytest
+
+from repro.model.taskset import TaskSet
+from repro.sim.interval_sim import ProposedSimulator
+from repro.sim.releases import ReleasePlan
+from repro.sim.validate import check_trace
+
+
+def _ts(rows, ls=()):
+    return TaskSet.from_parameters(rows).with_ls_marks(ls)
+
+
+class TestPromotionChoice:
+    def test_highest_priority_ls_wins_urgency(self):
+        """R4: two LS tasks released in the same interval — the
+        higher-priority one becomes urgent."""
+        ts = _ts(
+            [
+                ("ls_hi", 1.0, 0.2, 0.2, 20.0, 6.0),
+                ("ls_lo", 1.0, 0.2, 0.2, 25.0, 12.0),
+                ("lp", 4.0, 1.0, 1.0, 60.0, 60.0),
+            ],
+            ls=("ls_hi", "ls_lo"),
+        )
+        # lp's copy-in [0,1]; both LS released at 0.5 -> cancel + promote.
+        plan = ReleasePlan(
+            releases={"lp": (0.0,), "ls_hi": (0.5,), "ls_lo": (0.5,)},
+            horizon=40.0,
+        )
+        trace = ProposedSimulator(ts).run(plan)
+        check_trace(trace)
+        hi = trace.jobs_of("ls_hi")[0]
+        lo = trace.jobs_of("ls_lo")[0]
+        assert hi.urgent and hi.copy_in_by == "cpu"
+        assert not lo.urgent
+        assert hi.exec_start < lo.exec_start
+
+    def test_nls_release_does_not_promote(self):
+        """R4 applies to LS tasks only: an NLS release during a
+        cancelled interval stays in the queue."""
+        ts = _ts(
+            [
+                ("ls", 1.0, 0.2, 0.2, 20.0, 18.0),
+                ("nls", 1.0, 0.2, 0.2, 25.0, 22.0),
+                ("lp", 4.0, 1.0, 1.0, 60.0, 60.0),
+            ],
+            ls=("ls",),
+        )
+        # Only the NLS task is released during lp's copy-in: no R3.
+        plan = ReleasePlan(
+            releases={"lp": (0.0,), "nls": (0.5,), "ls": (30.0,)},
+            horizon=60.0,
+        )
+        trace = ProposedSimulator(ts).run(plan)
+        lp = trace.jobs_of("lp")[0]
+        nls = trace.jobs_of("nls")[0]
+        assert not lp.was_cancelled  # NLS releases never cancel (R3)
+        assert not nls.urgent
+
+
+class TestCancellationScope:
+    def test_ls_release_cancels_only_lower_priority(self):
+        """R3: an LS release does not cancel a *higher*-priority
+        copy-in."""
+        ts = _ts(
+            [
+                ("hp", 1.0, 1.0, 0.2, 20.0, 19.0),
+                ("ls", 1.0, 0.2, 0.2, 25.0, 20.0),
+            ],
+            ls=("ls",),
+        )
+        # hp's copy-in [0, 1.0]; ls released mid-copy at 0.5: hp
+        # outranks ls, so the copy-in stands.
+        plan = ReleasePlan(
+            releases={"hp": (0.0,), "ls": (0.5,)}, horizon=40.0
+        )
+        trace = ProposedSimulator(ts).run(plan)
+        assert not trace.jobs_of("hp")[0].was_cancelled
+
+    def test_mid_priority_ls_cancels_lp_not_hp(self):
+        """Victim selection respects the canceller's priority."""
+        ts = _ts(
+            [
+                ("hp", 1.0, 0.5, 0.2, 20.0, 18.0),
+                ("ls", 1.0, 0.2, 0.2, 25.0, 10.0),
+                ("lp", 3.0, 2.0, 0.5, 60.0, 60.0),
+            ],
+            ls=("ls",),
+        )
+        # lp released alone: its copy-in [0,2]; ls arrives at 1.0 ->
+        # cancels lp. hp arrives later and is untouched.
+        plan = ReleasePlan(
+            releases={"lp": (0.0,), "ls": (1.0,), "hp": (10.0,)},
+            horizon=60.0,
+        )
+        trace = ProposedSimulator(ts).run(plan)
+        assert trace.jobs_of("lp")[0].was_cancelled
+        assert not trace.jobs_of("hp")[0].was_cancelled
+        check_trace(trace)
+
+    def test_cancelled_dma_time_is_wasted(self):
+        """The aborted copy-in's DMA time delays the interval end."""
+        ts = _ts(
+            [
+                ("ls", 1.0, 0.2, 0.2, 20.0, 18.0),
+                ("lp", 3.0, 2.0, 0.5, 60.0, 60.0),
+            ],
+            ls=("ls",),
+        )
+        plan = ReleasePlan(
+            releases={"lp": (0.0,), "ls": (1.5,)}, horizon=40.0
+        )
+        trace = ProposedSimulator(ts).run(plan)
+        lp = trace.jobs_of("lp")[0]
+        assert lp.was_cancelled
+        (start, end), = lp.cancelled_copy_ins
+        assert end == pytest.approx(1.5)  # aborted at the release
+
+    def test_pipeline_recovers_after_cancellation(self):
+        """The cancelled victim reloads and completes later (R3 puts
+        it back in the ready queue)."""
+        ts = _ts(
+            [
+                ("ls", 1.0, 0.2, 0.2, 20.0, 18.0),
+                ("lp", 3.0, 2.0, 0.5, 60.0, 60.0),
+            ],
+            ls=("ls",),
+        )
+        plan = ReleasePlan(
+            releases={"lp": (0.0,), "ls": (1.0,)}, horizon=60.0
+        )
+        trace = ProposedSimulator(ts).run(plan)
+        lp = trace.jobs_of("lp")[0]
+        assert lp.completed
+        assert lp.copy_in_by == "dma"  # the reload went through the DMA
+        # The reload starts no earlier than the cancellation instant
+        # and runs its full duration this time.
+        assert lp.copy_in_start >= 1.0 - 1e-9
+        assert lp.copy_in_end - lp.copy_in_start == pytest.approx(2.0)
+
+
+class TestEagerCopyOut:
+    def test_copy_out_runs_without_followup_work(self):
+        """R2: the last job's output is written back even when the
+        system then goes idle."""
+        ts = _ts([("solo", 2.0, 0.5, 0.5, 50.0, 45.0)])
+        plan = ReleasePlan(releases={"solo": (0.0,)}, horizon=50.0)
+        trace = ProposedSimulator(ts).run(plan)
+        job = trace.jobs_of("solo")[0]
+        assert job.completed
+        # copy-out starts right at the interval after execution.
+        assert job.copy_out_start == pytest.approx(job.exec_end)
+
+    def test_urgent_jobs_copy_out_via_dma(self):
+        """Property 2 holds for urgent executions too."""
+        ts = _ts(
+            [
+                ("ls", 1.0, 0.2, 0.3, 20.0, 18.0),
+                ("lp", 3.0, 2.0, 0.5, 60.0, 60.0),
+            ],
+            ls=("ls",),
+        )
+        plan = ReleasePlan(
+            releases={"lp": (0.0,), "ls": (1.0,)}, horizon=60.0
+        )
+        trace = ProposedSimulator(ts).run(plan)
+        ls = trace.jobs_of("ls")[0]
+        assert ls.urgent
+        assert ls.copy_out_end == pytest.approx(
+            ls.copy_out_start + 0.3
+        )
+        check_trace(trace)

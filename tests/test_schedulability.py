@@ -1,0 +1,89 @@
+"""Unit tests for the task-set schedulability front end."""
+
+import pytest
+
+from repro.analysis.schedulability import (
+    PROTOCOLS,
+    analyze_taskset,
+    is_schedulable,
+)
+from repro.errors import AnalysisError
+from repro.model.taskset import TaskSet
+
+
+@pytest.fixture
+def ts():
+    return TaskSet.from_parameters(
+        [
+            ("a", 1.0, 0.2, 0.2, 10.0, 9.0),
+            ("b", 2.0, 0.3, 0.3, 20.0, 16.0),
+            ("c", 3.0, 0.4, 0.4, 40.0, 36.0),
+        ]
+    )
+
+
+class TestAnalyzeTaskset:
+    def test_all_protocols_produce_results(self, ts):
+        for protocol in PROTOCOLS:
+            result = analyze_taskset(ts, protocol)
+            assert len(result.results) == len(ts)
+            assert result.protocol in protocol  # "nps" prefix of "nps_carry"
+
+    def test_unknown_protocol(self, ts):
+        with pytest.raises(AnalysisError):
+            analyze_taskset(ts, "edf")
+
+    def test_proposed_with_greedy_policy(self, ts):
+        result = analyze_taskset(ts, "proposed", ls_policy="greedy")
+        assert result.schedulable
+
+    def test_unknown_ls_policy(self, ts):
+        with pytest.raises(AnalysisError):
+            analyze_taskset(ts, "proposed", ls_policy="psychic")
+
+    def test_as_marked_respects_flags(self, ts):
+        marked = ts.with_ls_marks(["a"])
+        result = analyze_taskset(marked, "proposed", ls_policy="as_marked")
+        a_result = result.result_for("a")
+        assert "case_b_wcrt" in a_result.details
+
+
+class TestIsSchedulable:
+    def test_easy_set_all_protocols(self, ts):
+        for protocol in PROTOCOLS:
+            assert is_schedulable(ts, protocol), protocol
+
+    def test_overloaded_set_all_protocols(self):
+        overload = TaskSet.from_parameters(
+            [
+                ("x", 9.0, 0.5, 0.5, 10.0, 10.0),
+                ("y", 5.0, 0.5, 0.5, 10.0, 10.0),
+            ]
+        )
+        for protocol in PROTOCOLS:
+            assert not is_schedulable(overload, protocol), protocol
+
+    def test_unknown_ls_policy(self, ts):
+        with pytest.raises(AnalysisError):
+            is_schedulable(ts, "proposed", ls_policy="psychic")
+
+    def test_as_marked_policy(self, ts):
+        assert is_schedulable(ts, "proposed", ls_policy="as_marked")
+
+    def test_closed_form_only_accepts(self, ts):
+        # closed_form is strictly more pessimistic: a closed-form pass
+        # implies a MILP pass.
+        if is_schedulable(ts, "proposed", method="closed_form"):
+            assert is_schedulable(ts, "proposed", method="milp")
+
+    def test_nps_carry_more_pessimistic_than_nps(self):
+        # Any set the carry variant accepts, the exact variant accepts.
+        ts = TaskSet.from_parameters(
+            [
+                ("a", 1.0, 0.1, 0.1, 10.0, 9.0),
+                ("b", 3.0, 0.2, 0.2, 15.0, 14.0),
+                ("c", 2.0, 0.2, 0.2, 30.0, 28.0),
+            ]
+        )
+        if is_schedulable(ts, "nps_carry"):
+            assert is_schedulable(ts, "nps")

@@ -1,0 +1,115 @@
+"""Unit tests for the sensitivity-analysis module."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    SCALERS,
+    critical_scaling_factor,
+    scale_deadline,
+    scale_execution,
+    scale_memory,
+    scaled_taskset,
+)
+from repro.errors import AnalysisError
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+
+@pytest.fixture
+def ts():
+    return TaskSet.from_parameters(
+        [
+            ("a", 1.0, 0.2, 0.2, 10.0, 9.0),
+            ("b", 2.0, 0.3, 0.3, 20.0, 16.0),
+        ]
+    )
+
+
+class TestScalers:
+    def test_execution_scales_all_phases(self):
+        task = Task.sporadic("t", 2.0, 10.0, copy_in=0.4, copy_out=0.2)
+        scaled = scale_execution(task, 1.5)
+        assert scaled.exec_time == pytest.approx(3.0)
+        assert scaled.copy_in == pytest.approx(0.6)
+        assert scaled.copy_out == pytest.approx(0.3)
+
+    def test_memory_scales_only_copies(self):
+        task = Task.sporadic("t", 2.0, 10.0, copy_in=0.4, copy_out=0.2)
+        scaled = scale_memory(task, 2.0)
+        assert scaled.exec_time == 2.0
+        assert scaled.copy_in == pytest.approx(0.8)
+
+    def test_deadline_scaler(self):
+        task = Task.sporadic("t", 2.0, 10.0, deadline=8.0)
+        assert scale_deadline(task, 0.5).deadline == pytest.approx(4.0)
+
+    def test_scaled_taskset_rejects_nonpositive(self, ts):
+        with pytest.raises(AnalysisError):
+            scaled_taskset(ts, scale_execution, 0.0)
+
+    def test_registry(self):
+        assert set(SCALERS) == {"execution", "memory", "deadline"}
+
+
+class TestCriticalScaling:
+    def test_execution_factor_above_one_for_easy_set(self, ts):
+        result = critical_scaling_factor(
+            ts, "execution", protocol="nps", tolerance=0.05
+        )
+        assert result.schedulable_at_one
+        assert result.critical_factor > 1.0
+        # Boundary property: feasible at the factor, infeasible a bit above.
+        from repro.analysis.schedulability import is_schedulable
+
+        f = result.critical_factor
+        assert is_schedulable(scaled_taskset(ts, scale_execution, f), "nps")
+        if f < 4.0:  # not clamped at the search bound
+            assert not is_schedulable(
+                scaled_taskset(ts, scale_execution, f + 0.1), "nps"
+            )
+
+    def test_memory_knob_monotone(self, ts):
+        result = critical_scaling_factor(
+            ts, "memory", protocol="nps", tolerance=0.05
+        )
+        assert result.critical_factor > 0.0
+
+    def test_deadline_knob_finds_smallest(self, ts):
+        result = critical_scaling_factor(
+            ts, "deadline", protocol="nps", tolerance=0.05
+        )
+        # The set is schedulable at 1.0, so the critical tightening is
+        # below 1.
+        assert result.critical_factor <= 1.0
+        assert result.schedulable_at_one
+
+    def test_hopeless_set_reports_zero(self):
+        overload = TaskSet.from_parameters(
+            [
+                ("x", 9.0, 0.5, 0.5, 10.0, 10.0),
+                ("y", 5.0, 0.5, 0.5, 10.0, 10.0),
+            ]
+        )
+        result = critical_scaling_factor(
+            overload, "execution", protocol="nps", lower=0.9, upper=2.0
+        )
+        assert result.critical_factor == 0.0
+
+    def test_unknown_knob(self, ts):
+        with pytest.raises(AnalysisError):
+            critical_scaling_factor(ts, "voltage")
+
+    def test_bad_bounds(self, ts):
+        with pytest.raises(AnalysisError):
+            critical_scaling_factor(ts, "execution", lower=2.0, upper=1.0)
+
+    def test_proposed_protocol_closed_form(self, ts):
+        # Fast smoke of the proposed pipeline through the bisection.
+        result = critical_scaling_factor(
+            ts,
+            "execution",
+            protocol="proposed",
+            method="closed_form",
+            tolerance=0.1,
+        )
+        assert result.evaluations >= 2

@@ -1,0 +1,67 @@
+"""Unit tests for the NPS simulator."""
+
+import pytest
+
+from repro.model.taskset import TaskSet
+from repro.sim.nps_sim import NpsSimulator
+from repro.sim.releases import ReleasePlan, periodic_plan
+
+
+@pytest.fixture
+def two_tasks():
+    return TaskSet.from_parameters(
+        [
+            ("hi", 2.0, 0.5, 0.5, 10.0, 10.0),
+            ("lo", 4.0, 0.5, 0.5, 50.0, 50.0),
+        ]
+    )
+
+
+class TestNpsSimulator:
+    def test_phases_are_serialized(self, two_tasks):
+        plan = ReleasePlan(releases={"hi": (0.0,)}, horizon=10.0)
+        trace = NpsSimulator(two_tasks).run(plan)
+        job = trace.jobs_of("hi")[0]
+        assert job.copy_in_start == 0.0
+        assert job.copy_in_end == job.exec_start
+        assert job.exec_end == job.copy_out_start
+        assert job.response_time == pytest.approx(3.0)
+
+    def test_non_preemptive_blocking(self, two_tasks):
+        # lo starts at 0; hi released at 1 must wait for lo to finish.
+        plan = ReleasePlan(
+            releases={"lo": (0.0,), "hi": (1.0,)}, horizon=20.0
+        )
+        trace = NpsSimulator(two_tasks).run(plan)
+        hi = trace.jobs_of("hi")[0]
+        lo = trace.jobs_of("lo")[0]
+        assert lo.copy_out_end == pytest.approx(5.0)
+        assert hi.copy_in_start == pytest.approx(5.0)
+        assert hi.response_time == pytest.approx(7.0)
+
+    def test_priority_order_on_simultaneous_release(self, two_tasks):
+        plan = ReleasePlan(
+            releases={"lo": (0.0,), "hi": (0.0,)}, horizon=20.0
+        )
+        trace = NpsSimulator(two_tasks).run(plan)
+        assert trace.jobs_of("hi")[0].copy_in_start == pytest.approx(0.0)
+        assert trace.jobs_of("lo")[0].copy_in_start == pytest.approx(3.0)
+
+    def test_idle_gap_jump(self, two_tasks):
+        plan = ReleasePlan(releases={"hi": (0.0, 30.0)}, horizon=40.0)
+        trace = NpsSimulator(two_tasks).run(plan)
+        jobs = trace.jobs_of("hi")
+        assert jobs[1].copy_in_start == pytest.approx(30.0)
+
+    def test_all_jobs_complete(self, two_tasks):
+        plan = periodic_plan(two_tasks, horizon=200.0)
+        trace = NpsSimulator(two_tasks).run(plan)
+        assert len(trace.completed_jobs()) == len(trace.jobs)
+
+    def test_response_never_below_total_cost(self, two_tasks, rng):
+        from repro.sim.releases import sporadic_plan
+
+        plan = sporadic_plan(two_tasks, 300.0, rng)
+        trace = NpsSimulator(two_tasks).run(plan)
+        for job in trace.completed_jobs():
+            assert job.response_time >= job.task.total_cost - 1e-9

@@ -1,0 +1,76 @@
+"""Unit tests for release-plan generation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.releases import (
+    ReleasePlan,
+    periodic_plan,
+    sporadic_plan,
+    synchronous_plan,
+)
+
+
+class TestReleasePlan:
+    def test_rejects_unsorted(self):
+        with pytest.raises(SimulationError):
+            ReleasePlan(releases={"a": (5.0, 1.0)}, horizon=10.0)
+
+    def test_rejects_negative_release(self):
+        with pytest.raises(SimulationError):
+            ReleasePlan(releases={"a": (-1.0,)}, horizon=10.0)
+
+    def test_rejects_nonpositive_horizon(self):
+        with pytest.raises(SimulationError):
+            ReleasePlan(releases={}, horizon=0.0)
+
+    def test_total_jobs(self):
+        plan = ReleasePlan(
+            releases={"a": (0.0, 5.0), "b": (1.0,)}, horizon=10.0
+        )
+        assert plan.total_jobs == 3
+
+    def test_for_task_missing_returns_empty(self):
+        plan = ReleasePlan(releases={"a": (0.0,)}, horizon=10.0)
+        assert plan.for_task("zzz") == ()
+
+
+class TestPeriodicPlans:
+    def test_periodic_counts(self, tiny_taskset):
+        plan = periodic_plan(tiny_taskset, horizon=100.0)
+        assert len(plan.for_task("hi")) == 10  # T=10 in [0, 100)
+        assert len(plan.for_task("mid")) == 5
+        assert len(plan.for_task("lo")) == 2
+
+    def test_phases_shift_releases(self, tiny_taskset):
+        plan = periodic_plan(tiny_taskset, horizon=50.0, phases={"hi": 3.0})
+        assert plan.for_task("hi")[0] == 3.0
+
+    def test_negative_phase_rejected(self, tiny_taskset):
+        with pytest.raises(SimulationError):
+            periodic_plan(tiny_taskset, 50.0, phases={"hi": -1.0})
+
+    def test_synchronous_is_zero_phase(self, tiny_taskset):
+        plan = synchronous_plan(tiny_taskset, horizon=40.0)
+        for task in tiny_taskset:
+            assert plan.for_task(task.name)[0] == 0.0
+
+
+class TestSporadicPlans:
+    def test_respects_min_interarrival(self, tiny_taskset, rng):
+        plan = sporadic_plan(tiny_taskset, 500.0, rng)
+        for task in tiny_taskset:
+            times = plan.for_task(task.name)
+            gaps = [b - a for a, b in zip(times, times[1:])]
+            assert all(g >= task.period - 1e-9 for g in gaps)
+
+    def test_reproducible(self, tiny_taskset):
+        import numpy as np
+
+        p1 = sporadic_plan(tiny_taskset, 200.0, np.random.default_rng(5))
+        p2 = sporadic_plan(tiny_taskset, 200.0, np.random.default_rng(5))
+        assert p1.releases == p2.releases
+
+    def test_rejects_negative_extra(self, tiny_taskset, rng):
+        with pytest.raises(SimulationError):
+            sporadic_plan(tiny_taskset, 100.0, rng, max_extra_fraction=-0.5)

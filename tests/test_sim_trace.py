@@ -1,0 +1,92 @@
+"""Unit tests for trace records."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.model.task import Task
+from repro.sim.trace import Interval, Job, Trace
+
+
+@pytest.fixture
+def task():
+    return Task.sporadic("t", 2.0, 10.0, copy_in=0.5, copy_out=0.5)
+
+
+def _completed_job(task, release=0.0, finish=5.0, index=0):
+    return Job(
+        task=task,
+        release=release,
+        index=index,
+        copy_in_start=release,
+        copy_in_end=release + 0.5,
+        exec_start=release + 0.5,
+        exec_end=release + 2.5,
+        exec_interval=0,
+        copy_out_start=finish - 0.5,
+        copy_out_end=finish,
+    )
+
+
+class TestJob:
+    def test_response_time(self, task):
+        job = _completed_job(task, release=1.0, finish=6.0)
+        assert job.response_time == pytest.approx(5.0)
+
+    def test_incomplete_job_raises(self, task):
+        job = Job(task=task, release=0.0, index=0)
+        assert not job.completed
+        with pytest.raises(SimulationError):
+            _ = job.response_time
+
+    def test_name_includes_index(self, task):
+        assert Job(task=task, release=0.0, index=3).name == "t#3"
+
+    def test_cancelled_flag(self, task):
+        job = Job(task=task, release=0.0, index=0)
+        assert not job.was_cancelled
+        job.cancelled_copy_ins.append((1.0, 1.5))
+        assert job.was_cancelled
+
+
+class TestInterval:
+    def test_length(self):
+        interval = Interval(index=0, start=2.0, end=5.5)
+        assert interval.length == pytest.approx(3.5)
+
+
+class TestTrace:
+    def test_response_times_and_misses(self, task):
+        ok = _completed_job(task, release=0.0, finish=5.0, index=0)
+        late = _completed_job(task, release=20.0, finish=32.0, index=1)
+        trace = Trace(jobs=[ok, late], protocol="test")
+        assert trace.max_response_time("t") == pytest.approx(12.0)
+        assert trace.deadline_misses() == [late]
+
+    def test_max_response_no_completions(self, task):
+        trace = Trace(jobs=[Job(task=task, release=0.0, index=0)])
+        assert math.isinf(trace.max_response_time("t"))
+        assert trace.max_response_time("t") < 0
+
+    def test_jobs_of_sorted_by_release(self, task):
+        j2 = _completed_job(task, release=10.0, finish=15.0, index=1)
+        j1 = _completed_job(task, release=0.0, finish=5.0, index=0)
+        trace = Trace(jobs=[j2, j1])
+        assert [j.release for j in trace.jobs_of("t")] == [0.0, 10.0]
+
+    def test_interval_at(self):
+        trace = Trace(
+            jobs=[],
+            intervals=[
+                Interval(index=0, start=0.0, end=2.0),
+                Interval(index=1, start=2.0, end=5.0),
+            ],
+        )
+        assert trace.interval_at(1.0).index == 0
+        assert trace.interval_at(2.0).index == 1
+        assert trace.interval_at(7.0) is None
+
+    def test_repr(self, task):
+        trace = Trace(jobs=[_completed_job(task)], protocol="nps")
+        assert "nps" in repr(trace)

@@ -1,0 +1,126 @@
+"""Unit tests for the trace invariant checkers (Properties 1-4)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.model.task import Task
+from repro.sim.trace import Interval, Job, Trace
+from repro.sim.validate import (
+    check_blocking_bounds,
+    check_phase_ordering,
+    check_trace,
+    count_blocking_intervals,
+)
+
+
+def _task(name, prio, ls=False):
+    return Task.sporadic(
+        name, exec_time=2.0, period=20.0, priority=prio,
+        copy_in=0.5, copy_out=0.5, latency_sensitive=ls,
+    )
+
+
+def _three_interval_trace(blocking_intervals_for_hi=1, hi_ls=False):
+    """Hand-built trace: lp tasks occupy intervals, hi executes last.
+
+    Interval 0 only loads lp1; lp1 executes in interval 1, lp2 in
+    interval 2, hi in interval 3; each copy-out opens the following
+    interval. The ``hi`` release time selects how many lp-occupied
+    intervals fall between its release and its execution start.
+    """
+    hi = _task("hi", 0, ls=hi_ls)
+    lp1 = _task("lp1", 1)
+    lp2 = _task("lp2", 2)
+    intervals = [
+        Interval(index=0, start=0.0, end=1.0, dma_load="lp1#0"),
+        Interval(index=1, start=1.0, end=4.0, cpu_job="lp1#0",
+                 dma_load="lp2#0"),
+        Interval(index=2, start=4.0, end=7.0, cpu_job="lp2#0",
+                 dma_load="hi#0", dma_unload="lp1#0"),
+        Interval(index=3, start=7.0, end=9.5, cpu_job="hi#0",
+                 dma_unload="lp2#0"),
+        Interval(index=4, start=9.5, end=10.0, dma_unload="hi#0"),
+    ]
+    jobs = [
+        Job(task=lp1, release=0.0, index=0, copy_in_start=0.0,
+            copy_in_end=0.5, exec_start=1.0, exec_end=3.0, exec_interval=1,
+            copy_out_start=4.0, copy_out_end=4.5),
+        Job(task=lp2, release=0.0, index=0, copy_in_start=1.5,
+            copy_in_end=2.0, exec_start=4.0, exec_end=6.0, exec_interval=2,
+            copy_out_start=7.0, copy_out_end=7.5),
+        Job(task=hi, release=1.5 if blocking_intervals_for_hi == 2 else 4.5,
+            index=0, copy_in_start=4.5, copy_in_end=5.0, exec_start=7.0,
+            exec_end=9.0, exec_interval=3, copy_out_start=9.5,
+            copy_out_end=10.0),
+    ]
+    return Trace(jobs=jobs, intervals=intervals, protocol="proposed")
+
+
+class TestPhaseOrdering:
+    def test_wellformed_passes(self):
+        check_phase_ordering(_three_interval_trace())
+
+    def test_copy_in_in_wrong_interval_fails(self):
+        trace = _three_interval_trace()
+        hi_job = trace.jobs_of("hi")[0]
+        hi_job.copy_in_start, hi_job.copy_in_end = 0.2, 0.7  # interval 0
+        with pytest.raises(SimulationError):
+            check_phase_ordering(trace)
+
+    def test_copy_out_not_at_next_interval_start_fails(self):
+        trace = _three_interval_trace()
+        lp2 = trace.jobs_of("lp2")[0]
+        lp2.copy_out_start = 6.7
+        with pytest.raises(SimulationError):
+            check_phase_ordering(trace)
+
+    def test_urgent_copy_in_must_abut_execution(self):
+        trace = _three_interval_trace()
+        hi_job = trace.jobs_of("hi")[0]
+        hi_job.copy_in_by = "cpu"
+        hi_job.copy_in_start, hi_job.copy_in_end = 5.0, 5.5  # exec at 6.0
+        with pytest.raises(SimulationError):
+            check_phase_ordering(trace)
+
+
+class TestBlockingBounds:
+    def test_counts_lp_occupied_intervals(self):
+        trace = _three_interval_trace(blocking_intervals_for_hi=2)
+        hi_job = trace.jobs_of("hi")[0]
+        assert count_blocking_intervals(trace, hi_job) == 2
+
+    def test_release_mid_window_counts_partial(self):
+        trace = _three_interval_trace(blocking_intervals_for_hi=1)
+        hi_job = trace.jobs_of("hi")[0]
+        assert count_blocking_intervals(trace, hi_job) == 1
+
+    def test_nls_two_blockers_pass(self):
+        trace = _three_interval_trace(blocking_intervals_for_hi=2)
+        check_blocking_bounds(trace)
+
+    def test_ls_two_blockers_fail(self):
+        trace = _three_interval_trace(
+            blocking_intervals_for_hi=2, hi_ls=True
+        )
+        with pytest.raises(SimulationError):
+            check_blocking_bounds(trace)
+
+    def test_ls_one_blocker_passes(self):
+        trace = _three_interval_trace(
+            blocking_intervals_for_hi=1, hi_ls=True
+        )
+        check_blocking_bounds(trace)
+
+
+class TestCheckTrace:
+    def test_nps_trace_skipped(self):
+        trace = Trace(jobs=[], intervals=[], protocol="nps")
+        check_trace(trace)  # no intervals: nothing to check
+
+    def test_wasly_skips_blocking_bounds(self):
+        # Two blockers are legal under [3] even for LS-marked tasks.
+        trace = _three_interval_trace(
+            blocking_intervals_for_hi=2, hi_ls=True
+        )
+        trace.protocol = "wasly"
+        check_trace(trace)

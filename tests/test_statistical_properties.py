@@ -1,0 +1,82 @@
+"""Statistical and consistency properties of generators and curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.curves import PeriodicJitterArrival, SporadicArrival
+from repro.generator import GenerationConfig, generate_tasksets, uunifast
+
+
+class TestUUnifastDistribution:
+    def test_mean_per_task_utilisation(self):
+        rng = np.random.default_rng(0)
+        n, U, draws = 5, 0.8, 3000
+        samples = np.array([uunifast(n, U, rng) for _ in range(draws)])
+        # Each slot has expectation U/n under UUnifast.
+        np.testing.assert_allclose(
+            samples.mean(axis=0), [U / n] * n, atol=0.02
+        )
+
+    def test_no_systematic_ordering_bias_in_extremes(self):
+        rng = np.random.default_rng(1)
+        n, draws = 4, 2000
+        argmax_counts = np.zeros(n)
+        for _ in range(draws):
+            utils = uunifast(n, 0.6, rng)
+            argmax_counts[int(np.argmax(utils))] += 1
+        # The maximum lands in every slot a non-trivial fraction of the
+        # time (UUnifast is exchangeable in distribution).
+        assert argmax_counts.min() / draws > 0.1
+
+
+class TestGeneratedWorkloadStatistics:
+    def test_deadline_band_respected_across_many_sets(self):
+        config = GenerationConfig(n=6, utilization=0.5, gamma=0.2, beta=0.25)
+        for ts in generate_tasksets(config, 20, seed=5):
+            for task in ts:
+                low = task.exec_time + 0.25 * (task.period - task.exec_time)
+                assert low - 1e-9 <= task.deadline <= task.period + 1e-9
+
+    def test_beta_one_deadline_equals_period(self):
+        config = GenerationConfig(n=4, utilization=0.4, beta=1.0)
+        for ts in generate_tasksets(config, 5, seed=6):
+            for task in ts:
+                assert task.deadline == pytest.approx(task.period)
+
+    def test_gamma_zero_means_no_memory_phases(self):
+        config = GenerationConfig(n=4, utilization=0.4, gamma=0.0)
+        for ts in generate_tasksets(config, 3, seed=7):
+            for task in ts:
+                assert task.copy_in == 0.0
+                assert task.copy_out == 0.0
+
+
+class TestCurveConsistency:
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(0.5, 200.0), st.floats(0.0, 500.0))
+    def test_closed_vs_open_window_counts(self, period, delta):
+        curve = SporadicArrival(period)
+        open_count = curve.eta(delta)
+        closed_count = curve.eta_closed(delta)
+        assert open_count <= closed_count <= open_count + 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(1.0, 100.0),
+        st.floats(0.0, 50.0),
+        st.floats(0.0, 300.0),
+    )
+    def test_jitter_dominates_sporadic(self, period, jitter, delta):
+        base = SporadicArrival(period)
+        jittery = PeriodicJitterArrival(period, jitter)
+        assert jittery.eta(delta) >= base.eta(delta)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.5, 100.0), st.integers(0, 20))
+    def test_earliest_release_consistent_with_closed_count(
+        self, period, q
+    ):
+        curve = SporadicArrival(period)
+        release = curve.earliest_release(q)
+        assert curve.eta_closed(release) >= q + 1

@@ -1,0 +1,100 @@
+"""Unit tests for the task model."""
+
+import pytest
+
+from repro.curves import PeriodicJitterArrival, SporadicArrival
+from repro.errors import ModelError
+from repro.model.task import Task
+
+
+class TestConstruction:
+    def test_sporadic_factory_defaults(self):
+        task = Task.sporadic("t", exec_time=2.0, period=10.0)
+        assert task.deadline == 10.0
+        assert task.copy_in == 0.0
+        assert task.copy_out == 0.0
+        assert not task.latency_sensitive
+
+    def test_total_cost(self):
+        task = Task.sporadic("t", 2.0, 10.0, copy_in=0.5, copy_out=0.25)
+        assert task.total_cost == pytest.approx(2.75)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelError):
+            Task.sporadic("", 1.0, 10.0)
+
+    def test_rejects_nonpositive_exec(self):
+        with pytest.raises(ModelError):
+            Task.sporadic("t", 0.0, 10.0)
+
+    def test_rejects_negative_copy_phases(self):
+        with pytest.raises(ModelError):
+            Task.sporadic("t", 1.0, 10.0, copy_in=-0.1)
+        with pytest.raises(ModelError):
+            Task.sporadic("t", 1.0, 10.0, copy_out=-0.1)
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ModelError):
+            Task.sporadic("t", 1.0, 10.0, deadline=0.0)
+
+    def test_rejects_nonpositive_footprint(self):
+        with pytest.raises(ModelError):
+            Task.sporadic("t", 1.0, 10.0, footprint=0)
+
+    def test_deadline_below_cost_is_allowed_but_flagged(self):
+        task = Task.sporadic("t", 3.0, 10.0, deadline=3.5, copy_in=1.0)
+        assert task.trivially_unschedulable
+
+    def test_deadline_at_cost_not_flagged(self):
+        task = Task.sporadic("t", 3.0, 10.0, deadline=4.0, copy_in=0.5,
+                             copy_out=0.5)
+        assert not task.trivially_unschedulable
+
+
+class TestProperties:
+    def test_period_from_sporadic_curve(self):
+        assert Task.sporadic("t", 1.0, 12.5).period == 12.5
+
+    def test_period_from_jitter_curve(self):
+        task = Task(
+            name="t",
+            exec_time=1.0,
+            copy_in=0.0,
+            copy_out=0.0,
+            deadline=9.0,
+            priority=0,
+            arrivals=PeriodicJitterArrival(10.0, 2.0),
+        )
+        assert task.period == 10.0
+
+    def test_utilization(self):
+        task = Task.sporadic("t", 2.0, 10.0, copy_in=0.5, copy_out=0.5)
+        assert task.utilization == pytest.approx(0.2)
+        assert task.total_utilization == pytest.approx(0.3)
+
+    def test_eta_shorthand(self):
+        task = Task.sporadic("t", 1.0, 10.0)
+        assert task.eta(15.0) == SporadicArrival(10.0).eta(15.0)
+
+
+class TestDerivation:
+    def test_as_latency_sensitive_returns_copy(self):
+        task = Task.sporadic("t", 1.0, 10.0)
+        marked = task.as_latency_sensitive()
+        assert marked.latency_sensitive
+        assert not task.latency_sensitive
+        assert marked.name == task.name
+
+    def test_as_latency_sensitive_noop_returns_self(self):
+        task = Task.sporadic("t", 1.0, 10.0, latency_sensitive=True)
+        assert task.as_latency_sensitive(True) is task
+
+    def test_with_priority(self):
+        task = Task.sporadic("t", 1.0, 10.0, priority=3)
+        assert task.with_priority(7).priority == 7
+
+    def test_repr_contains_ls_tag(self):
+        assert "NLS" in repr(Task.sporadic("t", 1.0, 10.0))
+        assert "LS" in repr(
+            Task.sporadic("t", 1.0, 10.0, latency_sensitive=True)
+        )

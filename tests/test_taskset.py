@@ -1,0 +1,155 @@
+"""Unit tests for TaskSet."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.task import Task
+from repro.model.taskset import TaskSet
+
+
+def _mk(name, prio, ls=False, exec_time=1.0):
+    return Task.sporadic(
+        name, exec_time=exec_time, period=10.0, priority=prio,
+        copy_in=0.1, copy_out=0.2, latency_sensitive=ls,
+    )
+
+
+class TestConstruction:
+    def test_sorted_by_priority(self):
+        ts = TaskSet([_mk("b", 2), _mk("a", 0), _mk("c", 1)])
+        assert [t.name for t in ts] == ["a", "c", "b"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            TaskSet([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ModelError):
+            TaskSet([_mk("a", 0), _mk("a", 1)])
+
+    def test_rejects_duplicate_priorities(self):
+        with pytest.raises(ModelError):
+            TaskSet([_mk("a", 0), _mk("b", 0)])
+
+    def test_from_parameters_deadline_monotonic(self):
+        ts = TaskSet.from_parameters(
+            [
+                ("long", 1.0, 0.1, 0.1, 50.0, 45.0),
+                ("short", 1.0, 0.1, 0.1, 10.0, 8.0),
+            ]
+        )
+        assert ts.by_name("short").priority < ts.by_name("long").priority
+
+
+class TestLookups:
+    def test_by_name(self):
+        ts = TaskSet([_mk("a", 0), _mk("b", 1)])
+        assert ts.by_name("b").priority == 1
+
+    def test_by_name_missing(self):
+        ts = TaskSet([_mk("a", 0)])
+        with pytest.raises(ModelError):
+            ts.by_name("zzz")
+
+    def test_contains_task_and_name(self):
+        a = _mk("a", 0)
+        ts = TaskSet([a, _mk("b", 1)])
+        assert a in ts
+        assert "a" in ts
+        assert "zzz" not in ts
+        assert 42 not in ts
+
+    def test_require_member_rejects_modified_task(self):
+        a = _mk("a", 0)
+        ts = TaskSet([a, _mk("b", 1)])
+        stranger = a.with_priority(9)
+        with pytest.raises(ModelError):
+            ts.require_member(stranger)
+
+    def test_indexing_and_len(self):
+        ts = TaskSet([_mk("a", 0), _mk("b", 1)])
+        assert len(ts) == 2
+        assert ts[0].name == "a"
+
+
+class TestPriorityPartitions:
+    @pytest.fixture
+    def ts(self):
+        return TaskSet(
+            [
+                _mk("a", 0, ls=True),
+                _mk("b", 1),
+                _mk("c", 2, ls=True),
+                _mk("d", 3),
+            ]
+        )
+
+    def test_hp_lp(self, ts):
+        c = ts.by_name("c")
+        assert [t.name for t in ts.hp(c)] == ["a", "b"]
+        assert [t.name for t in ts.lp(c)] == ["d"]
+
+    def test_ls_partitions(self, ts):
+        b = ts.by_name("b")
+        assert [t.name for t in ts.hp_ls(b)] == ["a"]
+        assert [t.name for t in ts.lp_ls(b)] == ["c"]
+        assert [t.name for t in ts.hp_nls(b)] == []
+        assert [t.name for t in ts.lp_nls(b)] == ["d"]
+
+    def test_gamma_ls_nls(self, ts):
+        assert {t.name for t in ts.ls_tasks} == {"a", "c"}
+        assert {t.name for t in ts.nls_tasks} == {"b", "d"}
+
+    def test_highest_priority_task_has_no_hp(self, ts):
+        assert ts.hp(ts.by_name("a")) == ()
+
+    def test_lowest_priority_task_has_no_lp(self, ts):
+        assert ts.lp(ts.by_name("d")) == ()
+
+
+class TestAggregatesAndDerivation:
+    def test_utilization_sums(self):
+        ts = TaskSet([_mk("a", 0, exec_time=1.0), _mk("b", 1, exec_time=2.0)])
+        assert ts.utilization == pytest.approx(0.3)
+        assert ts.total_utilization == pytest.approx(0.3 + 2 * 0.03)
+
+    def test_max_copy_phases(self):
+        ts = TaskSet([_mk("a", 0), _mk("b", 1)])
+        assert ts.max_copy_in() == pytest.approx(0.1)
+        assert ts.max_copy_out() == pytest.approx(0.2)
+
+    def test_max_copy_with_exclusion(self):
+        a = Task.sporadic("a", 1.0, 10.0, copy_in=5.0, priority=0)
+        b = Task.sporadic("b", 1.0, 10.0, copy_in=1.0, priority=1)
+        ts = TaskSet([a, b])
+        assert ts.max_copy_in(exclude=ts.by_name("a")) == pytest.approx(1.0)
+
+    def test_with_ls_marks(self):
+        ts = TaskSet([_mk("a", 0), _mk("b", 1)])
+        marked = ts.with_ls_marks(["b"])
+        assert not marked.by_name("a").latency_sensitive
+        assert marked.by_name("b").latency_sensitive
+        # original untouched
+        assert not ts.by_name("b").latency_sensitive
+
+    def test_with_ls_marks_unknown_name(self):
+        ts = TaskSet([_mk("a", 0)])
+        with pytest.raises(ModelError):
+            ts.with_ls_marks(["nope"])
+
+    def test_with_task_replaced(self):
+        ts = TaskSet([_mk("a", 0), _mk("b", 1)])
+        replacement = _mk("b", 1, exec_time=9.0)
+        updated = ts.with_task_replaced(replacement)
+        assert updated.by_name("b").exec_time == 9.0
+
+    def test_with_task_replaced_unknown(self):
+        ts = TaskSet([_mk("a", 0)])
+        with pytest.raises(ModelError):
+            ts.with_task_replaced(_mk("zzz", 5))
+
+    def test_equality_and_hash(self):
+        ts1 = TaskSet([_mk("a", 0), _mk("b", 1)])
+        ts2 = TaskSet([_mk("b", 1), _mk("a", 0)])
+        assert ts1 == ts2
+        assert hash(ts1) == hash(ts2)

@@ -1,0 +1,55 @@
+"""Small utilities and the package's public surface."""
+
+import pytest
+
+import repro
+from repro.milp.solution import SolveStatus
+from repro.types import TIME_EPS, time_eq, time_leq, time_lt
+
+
+class TestTimeHelpers:
+    def test_time_eq_within_eps(self):
+        assert time_eq(1.0, 1.0 + TIME_EPS / 2)
+        assert not time_eq(1.0, 1.0 + 10 * TIME_EPS)
+
+    def test_time_leq_boundary(self):
+        assert time_leq(1.0 + TIME_EPS / 2, 1.0)
+        assert not time_leq(1.1, 1.0)
+
+    def test_time_lt_strict(self):
+        assert time_lt(0.9, 1.0)
+        assert not time_lt(1.0 - TIME_EPS / 2, 1.0)
+
+
+class TestSolveStatus:
+    def test_has_solution(self):
+        assert SolveStatus.OPTIMAL.has_solution
+        assert SolveStatus.TIME_LIMIT.has_solution
+        assert not SolveStatus.INFEASIBLE.has_solution
+        assert not SolveStatus.UNBOUNDED.has_solution
+        assert not SolveStatus.ERROR.has_solution
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_string(self):
+        assert isinstance(repro.__version__, str)
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "Task",
+            "TaskSet",
+            "TaskChain",
+            "analyze_taskset",
+            "is_schedulable",
+            "greedy_ls_assignment",
+            "audsley_opa",
+            "load_taskset",
+        ],
+    )
+    def test_key_symbols_importable(self, name):
+        assert getattr(repro, name) is not None

@@ -1,0 +1,64 @@
+"""Unit tests for the protocol-[3] analysis."""
+
+import pytest
+
+from repro.analysis.interface import AnalysisOptions
+from repro.analysis.proposed.response_time import ProposedAnalysis
+from repro.analysis.wasly import WaslyAnalysis
+from repro.model.taskset import TaskSet
+
+
+@pytest.fixture
+def ts():
+    return TaskSet.from_parameters(
+        [
+            ("a", 1.0, 0.2, 0.2, 10.0, 9.0),
+            ("b", 2.0, 0.3, 0.3, 20.0, 16.0),
+            ("c", 3.0, 0.4, 0.4, 40.0, 36.0),
+        ]
+    )
+
+
+class TestWasly:
+    def test_ls_marks_ignored(self, ts):
+        plain = WaslyAnalysis().analyze(ts)
+        marked = WaslyAnalysis().analyze(ts.with_ls_marks(["a", "b"]))
+        for p, m in zip(plain.results, marked.results):
+            assert p.wcrt == pytest.approx(m.wcrt)
+
+    def test_result_tagged_with_caller_task(self, ts):
+        marked = ts.with_ls_marks(["a"])
+        result = WaslyAnalysis().response_time(marked, marked.by_name("a"))
+        assert result.task.latency_sensitive  # caller's object, not stripped
+
+    def test_single_task_matches_proposed(self, single_task_set):
+        task = single_task_set[0]
+        wasly = WaslyAnalysis().response_time(single_task_set, task).wcrt
+        prop = ProposedAnalysis().response_time(single_task_set, task).wcrt
+        assert wasly == pytest.approx(prop)
+
+    def test_wasly_never_better_than_proposed_all_nls(self, ts):
+        # With no LS tasks the two formulations coincide except for the
+        # blocking budget (2 for both here) -> equal results expected.
+        options = AnalysisOptions(stop_at_deadline=False)
+        for task in ts:
+            w = WaslyAnalysis(options).response_time(ts, task).wcrt
+            p = ProposedAnalysis(options).response_time(ts, task).wcrt
+            assert w == pytest.approx(p, abs=1e-6)
+
+    def test_closed_form_method(self, ts):
+        analysis = WaslyAnalysis(method="closed_form")
+        result = analysis.response_time(ts, ts.by_name("b"))
+        assert result.wcrt >= WaslyAnalysis().response_time(
+            ts, ts.by_name("b")
+        ).wcrt - 1e-9
+
+    def test_verdicts_consistent(self, ts):
+        analysis = WaslyAnalysis()
+        for task in ts:
+            assert analysis.verdict(ts, task) == analysis.response_time(
+                ts, task
+            ).schedulable
+
+    def test_protocol_label(self):
+        assert WaslyAnalysis().protocol == "wasly"

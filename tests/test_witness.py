@@ -1,0 +1,88 @@
+"""Unit tests for the worst-case schedule witness decoder."""
+
+import pytest
+
+from repro.analysis.proposed.formulation import AnalysisMode, build_delay_milp
+from repro.analysis.proposed.witness import (
+    extract_witness,
+    validate_witness,
+)
+from repro.errors import AnalysisError
+from repro.milp import HighsBackend
+from repro.model.taskset import TaskSet
+
+
+@pytest.fixture
+def ts():
+    return TaskSet.from_parameters(
+        [
+            ("a", 1.0, 0.2, 0.2, 10.0, 9.0),
+            ("b", 2.0, 0.3, 0.3, 20.0, 16.0),
+            ("c", 3.0, 0.4, 0.4, 40.0, 36.0),
+        ]
+    ).with_ls_marks(["a"])
+
+
+def _solved(ts, name, window, mode):
+    task = ts.by_name(name)
+    built = build_delay_milp(ts, task, window, mode)
+    solution = built.model.solve(HighsBackend())
+    return built, solution
+
+
+class TestExtract:
+    def test_final_interval_is_task(self, ts):
+        built, solution = _solved(ts, "b", 12.0, AnalysisMode.NLS)
+        witness = extract_witness(built, solution, "b")
+        assert witness.intervals[-1].executes == "b"
+        assert witness.total_delay == pytest.approx(
+            solution.objective, abs=1e-6
+        )
+        validate_witness(witness)
+
+    def test_copy_in_of_task_in_second_last(self, ts):
+        built, solution = _solved(ts, "b", 12.0, AnalysisMode.NLS)
+        witness = extract_witness(built, solution, "b")
+        assert witness.intervals[-2].copy_in_of == "b"
+
+    def test_case_b_witness(self, ts):
+        built, solution = _solved(ts, "a", 0.0, AnalysisMode.LS_CASE_B)
+        witness = extract_witness(built, solution, "a")
+        assert len(witness.intervals) == 2
+        validate_witness(witness)
+
+    def test_render_mentions_tasks(self, ts):
+        built, solution = _solved(ts, "c", 20.0, AnalysisMode.NLS)
+        witness = extract_witness(built, solution, "c")
+        text = witness.render()
+        assert "worst-case window for c" in text
+        assert "exec" in text
+
+    def test_wasly_witness_has_no_urgent(self, ts):
+        built, solution = _solved(ts, "b", 12.0, AnalysisMode.WASLY)
+        witness = extract_witness(built, solution, "b")
+        assert not any(iv.urgent for iv in witness.intervals)
+        validate_witness(witness)
+
+    def test_rejects_unsolved(self, ts):
+        from repro.milp.solution import MilpSolution, SolveStatus
+
+        built, _ = _solved(ts, "b", 12.0, AnalysisMode.NLS)
+        bad = MilpSolution(status=SolveStatus.INFEASIBLE)
+        with pytest.raises(AnalysisError):
+            extract_witness(built, bad, "b")
+
+
+class TestValidate:
+    def test_detects_wrong_final_occupant(self, ts):
+        built, solution = _solved(ts, "b", 12.0, AnalysisMode.NLS)
+        witness = extract_witness(built, solution, "b")
+        from dataclasses import replace
+
+        broken = replace(
+            witness,
+            intervals=witness.intervals[:-1]
+            + (replace(witness.intervals[-1], executes="zzz"),),
+        )
+        with pytest.raises(AnalysisError):
+            validate_witness(broken)
