@@ -6,6 +6,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.milp.resilient import ResilienceConfig
 from repro.model.task import Task
 from repro.model.taskset import TaskSet
 from repro.types import Time
@@ -30,6 +31,11 @@ class AnalysisOptions:
             values trade tightness for speed, again on the safe side
             because the dual bound is reported.
         convergence_eps: Fixpoint convergence tolerance on the WCRT.
+        resilience: When set, every MILP solve runs through a
+            :class:`repro.milp.ResilientBackend` configured from it:
+            watchdog, transient-error retries, and the safe-degradation
+            fallback chain down to the closed-form bound. ``None`` (the
+            default) keeps the historical fail-fast behaviour.
     """
 
     max_iterations: int = 60
@@ -37,6 +43,7 @@ class AnalysisOptions:
     time_limit: float | None = None
     mip_rel_gap: float = 0.0
     convergence_eps: float = 1e-6
+    resilience: ResilienceConfig | None = None
 
 
 @dataclass(frozen=True)

@@ -183,9 +183,15 @@ def build_delay_milp(
         return _build_case_b(taskset, task)
 
     if mode is AnalysisMode.LS_CASE_A:
-        n = interval_count_ls(taskset, task, window, hp_wcrt)
+        n = interval_count_ls(
+            taskset, task, window, hp_wcrt,
+            urgent_possible=mode.uses_ls_machinery,
+        )
     else:
-        n = interval_count_nls(taskset, task, window, hp_wcrt)
+        n = interval_count_nls(
+            taskset, task, window, hp_wcrt,
+            urgent_possible=mode.uses_ls_machinery,
+        )
     return _build_windowed(taskset, task, window, mode, n, hp_wcrt)
 
 

@@ -72,21 +72,60 @@ def _interference_intervals(
     )
 
 
+def _refinement_surcharge(
+    taskset: TaskSet,
+    task: Task,
+    window: Time,
+    hp_wcrt: Mapping[str, Time],
+) -> int:
+    """Extra structural intervals charged under the refinement only.
+
+    The paper's ``eta_j(t) + 1`` budgets leave at least one surplus
+    interference interval per higher-priority task; those spares
+    silently absorb two delay shapes that are not executions of
+    higher-priority jobs *inside* the window:
+
+    * the partial interval already in progress when ``tau_i`` is
+      released (e.g. a higher-priority copy-in occupying the DMA while
+      the CPU idles) — at most one, and
+    * CPU-idle cancellation bubbles: a higher-priority LS release
+      cancels ``tau_i``'s in-progress copy-in (rules R3/R4), leaving an
+      interval where only the doomed copy-in ran — at most one per
+      higher-priority LS job that can appear in the window.
+
+    The jitter-aware refinement removes the slack, so both must be
+    charged explicitly (the paper's own count stays an upper bound, so
+    callers cap the refined count at it).
+    """
+    bubbles = sum(
+        interference_budget(j, window, hp_wcrt)
+        for j in taskset.hp(task)
+        if j.latency_sensitive
+    )
+    return 1 + bubbles
+
+
 def interval_count_nls(
     taskset: TaskSet,
     task: Task,
     window: Time,
     hp_wcrt: Mapping[str, Time] | None = None,
+    urgent_possible: bool = True,
 ) -> int:
     """``N_i(t)`` for an NLS task under analysis (Theorem 1, refined).
 
     Structural extra intervals: two when any lower-priority task exists
     (two blockings, or one blocking plus the release bubble — see the
     module docstring), one otherwise (the bubble alone); plus
-    interference and the task's own execution interval.
+    interference and the task's own execution interval. Under the
+    refinement a structural surcharge is added, capped at the paper's
+    count, which also bounds it — see :func:`_refinement_surcharge`.
     """
     extra = 2 if taskset.lp(task) else 1
     n = _interference_intervals(taskset, task, window, hp_wcrt) + extra + 1
+    if hp_wcrt is not None and urgent_possible:
+        paper = _interference_intervals(taskset, task, window) + extra + 1
+        n = min(n + _refinement_surcharge(taskset, task, window, hp_wcrt), paper)
     return max(n, 2)
 
 
@@ -95,11 +134,17 @@ def interval_count_ls(
     task: Task,
     window: Time,
     hp_wcrt: Mapping[str, Time] | None = None,
+    urgent_possible: bool = True,
 ) -> int:
     """``N_i(t)`` for an LS task, case (a) (Corollary 1, refined).
 
-    At most one lower-priority blocking interval (Property 4).
+    At most one lower-priority blocking interval (Property 4). Under
+    the refinement a structural surcharge is added exactly as in
+    :func:`interval_count_nls`.
     """
     blocking = min(1, len(taskset.lp(task)))
     n = _interference_intervals(taskset, task, window, hp_wcrt) + blocking + 1
+    if hp_wcrt is not None and urgent_possible:
+        paper = _interference_intervals(taskset, task, window) + blocking + 1
+        n = min(n + _refinement_surcharge(taskset, task, window, hp_wcrt), paper)
     return max(n, 2)

@@ -24,10 +24,11 @@ from repro.analysis.proposed.closed_form import (
     ls_case_b_bound,
 )
 from repro.analysis.proposed.formulation import AnalysisMode, build_delay_milp
-from repro.errors import InfeasibleModelError, UnboundedModelError
+from repro.errors import InfeasibleModelError, SolverError, UnboundedModelError
 from repro.milp.highs import HighsBackend
-from repro.milp.model import MilpBackend
-from repro.milp.solution import SolveStatus
+from repro.milp.model import MilpBackend, MilpModel
+from repro.milp.resilient import ResilientBackend
+from repro.milp.solution import MilpSolution, SolveStatus
 from repro.model.task import Task
 from repro.model.taskset import TaskSet
 from repro.types import Time
@@ -162,9 +163,50 @@ class ProposedAnalysis:
             details=details,
         )
 
+    def _closed_form_objective(
+        self, taskset: TaskSet, task: Task, mode: AnalysisMode
+    ) -> Callable[[], float]:
+        """Last-resort safe objective for one mode's delay MILP.
+
+        The closed-form WCRT upper-bounds the MILP fixpoint, hence also
+        the per-window MILP optimum (plus copy-out), for every window
+        the iteration can visit — so substituting it keeps the analysis
+        an upper bound when every solver rung has failed.
+        """
+        if mode is AnalysisMode.LS_CASE_B:
+            return lambda: ls_case_b_bound(taskset, task) - task.copy_out
+        blocking = 2 if mode in (AnalysisMode.NLS, AnalysisMode.WASLY) else 1
+        return lambda: (
+            closed_form_delay_bound(
+                taskset,
+                task,
+                blocking_intervals=blocking,
+                urgent_possible=mode.uses_ls_machinery,
+            )
+            - task.copy_out
+        )
+
+    def _solve_model(
+        self, model: MilpModel, taskset: TaskSet, task: Task, mode: AnalysisMode
+    ) -> MilpSolution:
+        """Solve one delay MILP, resiliently when options ask for it."""
+        backend = self.backend_factory()
+        resilience = self.options.resilience
+        if resilience is not None and not isinstance(backend, ResilientBackend):
+            backend = ResilientBackend.from_config(
+                backend,
+                resilience,
+                closed_form_objective=self._closed_form_objective(
+                    taskset, task, mode
+                ),
+            )
+        return model.solve(backend)
+
     def _solve_case_b(self, taskset: TaskSet, task: Task) -> Time:
         built = build_delay_milp(taskset, task, 0.0, AnalysisMode.LS_CASE_B)
-        solution = built.model.solve(self.backend_factory())
+        solution = self._solve_model(
+            built.model, taskset, task, AnalysisMode.LS_CASE_B
+        )
         if solution.status is SolveStatus.INFEASIBLE:
             raise InfeasibleModelError(f"case-(b) MILP infeasible for {task.name}")
         if solution.status is SolveStatus.UNBOUNDED:
@@ -197,10 +239,15 @@ class ProposedAnalysis:
         for iterations in range(1, options.max_iterations + 1):
             window = max(response - task.exec_time - task.copy_out, task.copy_in)
             built = build_delay_milp(taskset, task, window, mode, hp_wcrt=hp_wcrt)
-            solution = built.model.solve(self.backend_factory())
+            solution = self._solve_model(built.model, taskset, task, mode)
             details["solves"] = iterations
             details["num_intervals"] = built.num_intervals
             details.setdefault("milp_stats", built.stats)
+            if solution.degradation:
+                details["degradation"] = max(
+                    details.get("degradation", solution.degradation),
+                    solution.degradation,
+                )
             if solution.status is SolveStatus.INFEASIBLE:
                 raise InfeasibleModelError(
                     f"delay MILP infeasible for {task.name} (mode={mode.value}, "
@@ -216,6 +263,8 @@ class ProposedAnalysis:
                 converged = True
                 break
             response = new_response
+            if not math.isfinite(response):
+                break  # a degraded bound diverged; report unschedulable
             if options.stop_at_deadline and response > task.deadline:
                 break
         return _IterationOutcome(response, iterations, converged, details)
@@ -241,7 +290,7 @@ class ProposedAnalysis:
             taskset, task, window, mode,
             hp_wcrt=self._hp_wcrt_map(taskset, task),
         )
-        solution = built.model.solve(self.backend_factory())
+        solution = self._solve_model(built.model, taskset, task, mode)
         if solution.status is SolveStatus.INFEASIBLE:
             raise InfeasibleModelError(
                 f"delay MILP infeasible for {task.name} (mode={mode.value})"
@@ -294,9 +343,13 @@ class ProposedAnalysis:
             )
             from repro.milp.relaxation import LpRelaxationBackend
 
-            relaxed = built.model.solve(LpRelaxationBackend())
+            try:
+                relaxed = built.model.solve(LpRelaxationBackend())
+            except SolverError:
+                relaxed = None  # screen only; the MILP path decides
             if (
-                relaxed.status is SolveStatus.OPTIMAL
+                relaxed is not None
+                and relaxed.status is SolveStatus.OPTIMAL
                 and relaxed.objective + task.copy_out <= task.deadline + 1e-9
             ):
                 return True

@@ -32,8 +32,13 @@ from repro.analysis.schedulability import PROTOCOLS, analyze_taskset
 from repro.errors import ReproError
 from repro.io import load_taskset
 from repro.experiments.config import FIGURE2_INSETS, figure2_config
-from repro.experiments.report import ascii_plot, render_sweep_table, sweep_to_csv
-from repro.experiments.runner import run_experiment
+from repro.experiments.report import (
+    ascii_plot,
+    render_failure_ledger,
+    render_sweep_table,
+    sweep_to_csv,
+)
+from repro.experiments.runner import FailurePolicy, run_experiment
 from repro.model.taskset import TaskSet
 from repro.sim.gantt import render_gantt, summarize_responses
 from repro.sim.interval_sim import ProposedSimulator, WaslySimulator
@@ -119,11 +124,21 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         )
 
     print(f"running {args.inset} with {args.sets} task sets per point")
-    result = run_experiment(config, options=options, progress=progress)
+    result = run_experiment(
+        config,
+        options=options,
+        progress=progress,
+        failure_policy=args.failure_policy,
+        checkpoint_path=args.checkpoint or None,
+        resume=args.resume,
+    )
     print()
     print(render_sweep_table(result))
     print()
     print(ascii_plot(result))
+    if result.failures:
+        print()
+        print(render_failure_ledger(result))
     if args.csv:
         Path(args.csv).write_text(sweep_to_csv(result))
         print(f"CSV written to {args.csv}")
@@ -267,6 +282,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--method", choices=("milp", "lp", "closed_form"), default="milp")
     p_fig.add_argument("--time-limit", type=float, default=None)
     p_fig.add_argument("--csv", default="", help="write the series to a CSV file")
+    p_fig.add_argument(
+        "--checkpoint",
+        default="",
+        help="persist each completed point to this JSON file (atomic)",
+    )
+    p_fig.add_argument(
+        "--resume",
+        action="store_true",
+        help="reload --checkpoint and re-evaluate only unfinished points",
+    )
+    p_fig.add_argument(
+        "--failure-policy",
+        choices=[p.value for p in FailurePolicy],
+        default=FailurePolicy.COUNT_UNSCHEDULABLE.value,
+        help="how failed taskset/protocol pairs enter the ratios",
+    )
     p_fig.set_defaults(func=_cmd_figure)
 
     p_demo = sub.add_parser("demo", help="the Fig. 1 motivating example")

@@ -24,6 +24,27 @@ class SolverError(ReproError):
     """Raised when a MILP backend fails (infeasible model, bad status...)."""
 
 
+class SolverTimeoutError(SolverError):
+    """Raised when a solve exceeds its wall-clock budget without a result.
+
+    Raised both by backends that hit their internal limit with no
+    incumbent (HiGHS) and by the :class:`repro.milp.ResilientBackend`
+    watchdog when a solve hangs past its deadline.
+    """
+
+
+class BackendUnavailableError(SolverError):
+    """Raised when a backend cannot produce any usable result.
+
+    Covers hard solver failures (HiGHS status 4 even after the
+    presolve retry) and a resilient solve whose whole fallback chain
+    was exhausted. The ``degradation`` attribute, when set, records the
+    deepest :class:`repro.milp.DegradationLevel` that was attempted.
+    """
+
+    degradation: object | None = None
+
+
 class InfeasibleModelError(SolverError):
     """Raised when a MILP that is expected to be feasible is not.
 

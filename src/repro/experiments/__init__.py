@@ -7,6 +7,8 @@ from repro.experiments.config import (
     FIGURE2_INSETS,
 )
 from repro.experiments.runner import (
+    FailurePolicy,
+    FailureRecord,
     PointResult,
     SweepResult,
     run_experiment,
@@ -14,6 +16,7 @@ from repro.experiments.runner import (
 )
 from repro.experiments.report import (
     ascii_plot,
+    render_failure_ledger,
     render_sweep_table,
     sweep_to_csv,
 )
@@ -31,11 +34,14 @@ __all__ = [
     "SweepPoint",
     "figure2_config",
     "FIGURE2_INSETS",
+    "FailurePolicy",
+    "FailureRecord",
     "PointResult",
     "SweepResult",
     "run_experiment",
     "run_point",
     "ascii_plot",
+    "render_failure_ledger",
     "render_sweep_table",
     "sweep_to_csv",
 ]

@@ -5,63 +5,55 @@ Long sweeps are expensive; this module serialises a
 the ratio data and the generation parameters) so partial runs can be
 archived, reloaded for re-plotting, and merged — e.g. two 25-set runs
 with disjoint seeds combine into one 50-set series.
+
+It also implements the sweep **checkpoint** format: a JSON file keyed
+by a digest of the experiment configuration, holding every completed
+point (including its failure ledger). Checkpoints are written
+atomically — to a temp file in the same directory, then renamed — so a
+kill mid-write can never leave a truncated checkpoint behind, and
+:func:`~repro.experiments.runner.run_experiment` can resume a sweep by
+re-evaluating only the missing points.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
+import os
 from pathlib import Path
+from typing import Mapping
 
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig, SweepPoint
-from repro.experiments.runner import PointResult, SweepResult
+from repro.experiments.runner import FailureRecord, PointResult, SweepResult
 from repro.generator.taskset_gen import GenerationConfig
 
 _FORMAT_VERSION = 1
+_CHECKPOINT_VERSION = 1
 
 
-def sweep_to_dict(result: SweepResult) -> dict:
-    """Plain-dict representation of a sweep result."""
-    config = result.config
+def _config_to_dict(config: ExperimentConfig) -> dict:
     return {
-        "format_version": _FORMAT_VERSION,
-        "config": {
-            "name": config.name,
-            "x_label": config.x_label,
-            "sets_per_point": config.sets_per_point,
-            "seed": config.seed,
-            "protocols": list(config.protocols),
-            "ls_policy": config.ls_policy,
-            "method": config.method,
-            "points": [
-                {
-                    "x": point.x,
-                    "generation": dataclasses.asdict(point.generation),
-                }
-                for point in config.points
-            ],
-        },
+        "name": config.name,
+        "x_label": config.x_label,
+        "sets_per_point": config.sets_per_point,
+        "seed": config.seed,
+        "protocols": list(config.protocols),
+        "ls_policy": config.ls_policy,
+        "method": config.method,
         "points": [
             {
                 "x": point.x,
-                "ratios": dict(point.ratios),
-                "sets_evaluated": point.sets_evaluated,
-                "elapsed_seconds": point.elapsed_seconds,
+                "generation": dataclasses.asdict(point.generation),
             }
-            for point in result.points
+            for point in config.points
         ],
     }
 
 
-def sweep_from_dict(payload: dict) -> SweepResult:
-    """Rebuild a sweep result from :func:`sweep_to_dict` output."""
-    if payload.get("format_version") != _FORMAT_VERSION:
-        raise ExperimentError(
-            f"unsupported sweep format {payload.get('format_version')!r}"
-        )
-    raw = payload["config"]
-    config = ExperimentConfig(
+def _config_from_dict(raw: dict) -> ExperimentConfig:
+    return ExperimentConfig(
         name=raw["name"],
         x_label=raw["x_label"],
         points=tuple(
@@ -74,15 +66,49 @@ def sweep_from_dict(payload: dict) -> SweepResult:
         ls_policy=raw["ls_policy"],
         method=raw["method"],
     )
-    points = tuple(
-        PointResult(
-            x=p["x"],
-            ratios=p["ratios"],
-            sets_evaluated=p["sets_evaluated"],
-            elapsed_seconds=p["elapsed_seconds"],
-        )
-        for p in payload["points"]
+
+
+def _point_to_dict(point: PointResult) -> dict:
+    payload = {
+        "x": point.x,
+        "ratios": dict(point.ratios),
+        "sets_evaluated": point.sets_evaluated,
+        "elapsed_seconds": point.elapsed_seconds,
+    }
+    if point.failures:
+        payload["failures"] = [dataclasses.asdict(f) for f in point.failures]
+    return payload
+
+
+def _point_from_dict(raw: dict) -> PointResult:
+    return PointResult(
+        x=raw["x"],
+        ratios=raw["ratios"],
+        sets_evaluated=raw["sets_evaluated"],
+        elapsed_seconds=raw["elapsed_seconds"],
+        failures=tuple(
+            FailureRecord(**f) for f in raw.get("failures", ())
+        ),
     )
+
+
+def sweep_to_dict(result: SweepResult) -> dict:
+    """Plain-dict representation of a sweep result."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "config": _config_to_dict(result.config),
+        "points": [_point_to_dict(point) for point in result.points],
+    }
+
+
+def sweep_from_dict(payload: dict) -> SweepResult:
+    """Rebuild a sweep result from :func:`sweep_to_dict` output."""
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ExperimentError(
+            f"unsupported sweep format {payload.get('format_version')!r}"
+        )
+    config = _config_from_dict(payload["config"])
+    points = tuple(_point_from_dict(p) for p in payload["points"])
     return SweepResult(config=config, points=points)
 
 
@@ -140,9 +166,93 @@ def merge_sweeps(a: SweepResult, b: SweepResult) -> SweepResult:
                 },
                 sets_evaluated=total,
                 elapsed_seconds=pa.elapsed_seconds + pb.elapsed_seconds,
+                failures=pa.failures + pb.failures,
             )
         )
     merged_config = dataclasses.replace(
         ca, sets_per_point=ca.sets_per_point + cb.sets_per_point
     )
     return SweepResult(config=merged_config, points=tuple(merged_points))
+
+
+# ----------------------------------------------------------------------
+# checkpoint / resume
+# ----------------------------------------------------------------------
+def config_digest(config: ExperimentConfig) -> str:
+    """Stable digest identifying an experiment configuration.
+
+    Two configs with the same digest generate the same task sets and
+    evaluate the same protocols, so their per-point results are
+    interchangeable — the property checkpoint resume relies on.
+    """
+    canonical = json.dumps(_config_to_dict(config), sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def save_checkpoint(
+    path: str | Path,
+    config: ExperimentConfig,
+    completed: Mapping[int, PointResult],
+) -> None:
+    """Atomically persist the completed points of a sweep.
+
+    The payload is written to a temporary file in the target directory
+    and renamed over ``path`` (rename is atomic on POSIX), so readers
+    never observe a partially-written checkpoint.
+    """
+    path = Path(path)
+    payload = {
+        "checkpoint_version": _CHECKPOINT_VERSION,
+        "config_digest": config_digest(config),
+        "config": _config_to_dict(config),
+        "points": {
+            str(index): _point_to_dict(point)
+            for index, point in sorted(completed.items())
+        },
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(json.dumps(payload, indent=2))
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise ExperimentError(f"cannot write checkpoint {path}: {exc}") from exc
+
+
+def load_checkpoint(
+    path: str | Path,
+    config: ExperimentConfig,
+    missing_ok: bool = False,
+) -> dict[int, PointResult]:
+    """Load the completed points of a checkpoint for ``config``.
+
+    Raises :class:`ExperimentError` when the file belongs to a
+    different configuration (digest mismatch), is an unsupported
+    version, or is not valid JSON — resuming against the wrong
+    checkpoint would silently mix incompatible samples.
+    """
+    path = Path(path)
+    if not path.exists():
+        if missing_ok:
+            return {}
+        raise ExperimentError(f"checkpoint file not found: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"invalid checkpoint JSON in {path}: {exc}") from exc
+    if payload.get("checkpoint_version") != _CHECKPOINT_VERSION:
+        raise ExperimentError(
+            f"unsupported checkpoint version "
+            f"{payload.get('checkpoint_version')!r} in {path}"
+        )
+    expected = config_digest(config)
+    found = payload.get("config_digest")
+    if found != expected:
+        raise ExperimentError(
+            f"checkpoint {path} belongs to a different experiment "
+            f"(config digest {found!r} != {expected!r}); delete it or "
+            f"point --checkpoint elsewhere"
+        )
+    return {
+        int(index): _point_from_dict(point)
+        for index, point in payload["points"].items()
+    }

@@ -45,6 +45,32 @@ def render_sweep_table(result: SweepResult) -> str:
             continue
         gap = result.advantage("proposed", protocol)
         lines.append(f"max advantage of proposed over {protocol}: {gap:+.3f}")
+    if result.failures:
+        lines.append(
+            f"failures: {len(result.failures)} taskset/protocol pairs "
+            "(see failure ledger)"
+        )
+    return "\n".join(lines)
+
+
+def render_failure_ledger(result: SweepResult) -> str:
+    """Human-readable failure ledger of a sweep (empty string if clean)."""
+    failures = result.failures
+    if not failures:
+        return ""
+    lines = [
+        f"failure ledger ({len(failures)} entries)",
+        f"{result.config.x_label:>8} | {'protocol':>9} | {'seed':>6} | "
+        f"{'set':>4} | {'digest':>16} | error",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for f in failures:
+        degraded = f" [degradation={f.degradation}]" if f.degradation else ""
+        lines.append(
+            f"{f.x:>8g} | {f.protocol:>9} | {f.seed:>6} | "
+            f"{f.taskset_index:>4} | {f.taskset_digest:>16} | "
+            f"{f.error_type}: {f.message}{degraded}"
+        )
     return "\n".join(lines)
 
 

@@ -1,16 +1,80 @@
-"""Sweep runner: schedulability ratios per protocol per point."""
+"""Sweep runner: schedulability ratios per protocol per point.
+
+Long sweeps are thousands of MILP solves; this runner isolates faults
+per taskset/protocol pair instead of letting one bad solve abort the
+sweep. Each failure is captured as a structured :class:`FailureRecord`
+in a ledger on the point result, and a :class:`FailurePolicy` decides
+how the failed pair enters the ratios. With ``checkpoint_path`` set,
+every completed point is persisted atomically so an interrupted sweep
+resumes from where it stopped (see
+:mod:`repro.experiments.persistence`).
+"""
 
 from __future__ import annotations
 
+import enum
 import time
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from repro.analysis.interface import AnalysisOptions
 from repro.analysis.schedulability import is_schedulable
+from repro.errors import ExperimentError, ReproError
 from repro.experiments.config import ExperimentConfig, SweepPoint
 from repro.generator.taskset_gen import generate_tasksets
 from repro.model.taskset import TaskSet
+
+
+class FailurePolicy(str, enum.Enum):
+    """What a failed taskset/protocol evaluation means for the ratios.
+
+    * ``RAISE`` — propagate the failure (the historical behaviour).
+    * ``SKIP`` — drop the pair from that protocol's denominator.
+    * ``COUNT_UNSCHEDULABLE`` — count the pair as unschedulable. This
+      is the conservative default: a ratio can only be under-reported
+      by a fault, never inflated.
+    """
+
+    RAISE = "raise"
+    SKIP = "skip"
+    COUNT_UNSCHEDULABLE = "count_unschedulable"
+
+
+def _coerce_policy(policy: "FailurePolicy | str") -> FailurePolicy:
+    try:
+        return FailurePolicy(policy)
+    except ValueError:
+        raise ExperimentError(
+            f"unknown failure policy {policy!r}; expected one of "
+            f"{[p.value for p in FailurePolicy]}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One captured taskset/protocol failure in a sweep's ledger.
+
+    Attributes:
+        x: Sweep-point x value the failure occurred at.
+        protocol: Protocol whose evaluation failed.
+        seed: The point's generation seed.
+        taskset_index: Index of the task set within the point's sample.
+        taskset_digest: Stable digest (:meth:`TaskSet.digest`) of the
+            failing task set, for offline reproduction.
+        error_type: Exception class name.
+        message: Exception message.
+        degradation: Deepest degradation level reached before the
+            failure, when the solver reported one (``None`` otherwise).
+    """
+
+    x: float
+    protocol: str
+    seed: int
+    taskset_index: int
+    taskset_digest: str
+    error_type: str
+    message: str
+    degradation: int | None = None
 
 
 @dataclass(frozen=True)
@@ -21,6 +85,7 @@ class PointResult:
     ratios: Mapping[str, float]
     sets_evaluated: int
     elapsed_seconds: float
+    failures: tuple[FailureRecord, ...] = ()
 
     def ratio(self, protocol: str) -> float:
         return self.ratios[protocol]
@@ -41,9 +106,25 @@ class SweepResult:
     def x_values(self) -> list[float]:
         return [p.x for p in self.points]
 
+    @property
+    def failures(self) -> tuple[FailureRecord, ...]:
+        """The whole sweep's failure ledger, in point order."""
+        return tuple(f for p in self.points for f in p.failures)
+
     def advantage(self, protocol: str, over: str) -> float:
         """Largest ratio gap of ``protocol`` over ``over`` (paper-style
         "improvements up to X%" statements)."""
+        if not self.points:
+            raise ExperimentError(
+                "advantage() on an empty sweep: no points were evaluated"
+            )
+        known = set(self.config.protocols)
+        for name in (protocol, over):
+            if name not in known:
+                raise ExperimentError(
+                    f"unknown protocol {name!r}; expected one of "
+                    f"{sorted(known)}"
+                )
         return max(
             p.ratios[protocol] - p.ratios[over] for p in self.points
         )
@@ -54,29 +135,65 @@ def run_point(
     config: ExperimentConfig,
     seed: int,
     options: AnalysisOptions | None = None,
+    failure_policy: FailurePolicy | str = FailurePolicy.COUNT_UNSCHEDULABLE,
 ) -> PointResult:
-    """Evaluate every protocol on the same task sets at one point."""
+    """Evaluate every protocol on the same task sets at one point.
+
+    A failing taskset/protocol pair never aborts the point (unless the
+    policy is ``RAISE``): it is recorded in the point's failure ledger
+    and enters the ratio per ``failure_policy``.
+    """
+    policy = _coerce_policy(failure_policy)
     start = time.perf_counter()
     tasksets = list(
         generate_tasksets(point.generation, config.sets_per_point, seed)
     )
     counts = {protocol: 0 for protocol in config.protocols}
-    for taskset in tasksets:
+    attempted = {protocol: 0 for protocol in config.protocols}
+    failures: list[FailureRecord] = []
+    for index, taskset in enumerate(tasksets):
         for protocol in config.protocols:
-            if is_schedulable(
-                taskset,
-                protocol,
-                options=options,
-                method=config.method,
-                ls_policy=config.ls_policy,
-            ):
+            try:
+                verdict = is_schedulable(
+                    taskset,
+                    protocol,
+                    options=options,
+                    method=config.method,
+                    ls_policy=config.ls_policy,
+                )
+            except ReproError as exc:
+                if policy is FailurePolicy.RAISE:
+                    raise
+                degradation = getattr(exc, "degradation", None)
+                failures.append(
+                    FailureRecord(
+                        x=point.x,
+                        protocol=protocol,
+                        seed=seed,
+                        taskset_index=index,
+                        taskset_digest=taskset.digest(),
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        degradation=(
+                            int(degradation) if degradation is not None else None
+                        ),
+                    )
+                )
+                if policy is FailurePolicy.COUNT_UNSCHEDULABLE:
+                    attempted[protocol] += 1
+                continue
+            attempted[protocol] += 1
+            if verdict:
                 counts[protocol] += 1
-    total = len(tasksets)
     return PointResult(
         x=point.x,
-        ratios={p: counts[p] / total for p in config.protocols},
-        sets_evaluated=total,
+        ratios={
+            p: (counts[p] / attempted[p]) if attempted[p] else 0.0
+            for p in config.protocols
+        },
+        sets_evaluated=len(tasksets),
         elapsed_seconds=time.perf_counter() - start,
+        failures=tuple(failures),
     )
 
 
@@ -84,6 +201,9 @@ def run_experiment(
     config: ExperimentConfig,
     options: AnalysisOptions | None = None,
     progress: Callable[[PointResult], None] | None = None,
+    failure_policy: FailurePolicy | str = FailurePolicy.COUNT_UNSCHEDULABLE,
+    checkpoint_path: "str | None" = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Run a full sweep (all points, all protocols, shared task sets).
 
@@ -92,10 +212,37 @@ def run_experiment(
         options: Analysis options (e.g. per-MILP time limits).
         progress: Optional callback invoked after each point, for
             long-running CLI feedback.
+        failure_policy: How failed taskset/protocol pairs enter the
+            ratios (see :class:`FailurePolicy`).
+        checkpoint_path: When set, each completed point is persisted
+            there atomically (JSON keyed by a config digest).
+        resume: Reload ``checkpoint_path`` and skip the points it
+            already holds; point ``i`` always uses ``config.seed + i``,
+            so a resumed sweep is bit-identical to an uninterrupted one.
     """
+    policy = _coerce_policy(failure_policy)
+    completed: dict[int, PointResult] = {}
+    if checkpoint_path is not None and resume:
+        from repro.experiments.persistence import load_checkpoint
+
+        completed = load_checkpoint(checkpoint_path, config, missing_ok=True)
     results = []
     for index, point in enumerate(config.points):
-        result = run_point(point, config, seed=config.seed + index, options=options)
+        if index in completed:
+            result = completed[index]
+        else:
+            result = run_point(
+                point,
+                config,
+                seed=config.seed + index,
+                options=options,
+                failure_policy=policy,
+            )
+            completed[index] = result
+            if checkpoint_path is not None:
+                from repro.experiments.persistence import save_checkpoint
+
+                save_checkpoint(checkpoint_path, config, completed)
         if progress is not None:
             progress(result)
         results.append(result)

@@ -11,12 +11,16 @@ on small instances.
 
 from repro.milp.expr import Constraint, LinExpr, Var
 from repro.milp.model import MilpModel
-from repro.milp.solution import MilpSolution, SolveStatus
+from repro.milp.solution import DegradationLevel, MilpSolution, SolveStatus
 from repro.milp.highs import HighsBackend
 from repro.milp.branch_bound import BranchBoundBackend
 from repro.milp.relaxation import LpRelaxationBackend
+from repro.milp.resilient import ResilienceConfig, ResilientBackend
 
 __all__ = [
+    "DegradationLevel",
+    "ResilienceConfig",
+    "ResilientBackend",
     "LpRelaxationBackend",
     "Var",
     "LinExpr",

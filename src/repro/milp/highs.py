@@ -7,10 +7,12 @@ which plays the role IBM CPLEX plays in the paper's experiments.
 from __future__ import annotations
 
 import time
+from typing import Mapping
 
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from repro.errors import BackendUnavailableError, SolverTimeoutError
 from repro.milp.model import MilpBackend, MilpModel
 from repro.milp.solution import MilpSolution, SolveStatus
 
@@ -37,6 +39,9 @@ class HighsBackend(MilpBackend):
             incumbent objective. For a maximisation whose result must
             upper-bound reality (our delay analyses), the dual bound is
             the safe choice whenever the solve may stop early.
+        extra_options: Additional raw HiGHS options merged into every
+            solve (e.g. ``{"presolve": False}``); used by the resilient
+            wrapper to perturb retries.
     """
 
     name = "highs"
@@ -46,10 +51,12 @@ class HighsBackend(MilpBackend):
         time_limit: float | None = None,
         mip_rel_gap: float = 0.0,
         use_dual_bound: bool = False,
+        extra_options: Mapping[str, object] | None = None,
     ) -> None:
         self.time_limit = time_limit
         self.mip_rel_gap = mip_rel_gap
         self.use_dual_bound = use_dual_bound
+        self.extra_options = dict(extra_options) if extra_options else {}
 
     def solve(self, model: MilpModel) -> MilpSolution:
         compiled = model.compile()
@@ -66,6 +73,7 @@ class HighsBackend(MilpBackend):
             options["time_limit"] = self.time_limit
         if self.mip_rel_gap:
             options["mip_rel_gap"] = self.mip_rel_gap
+        options.update(self.extra_options)
 
         start = time.perf_counter()
         result = milp(
@@ -88,10 +96,23 @@ class HighsBackend(MilpBackend):
             )
         elapsed = time.perf_counter() - start
 
+        stats = (
+            f"rows={compiled.num_rows}, vars={compiled.num_vars}, "
+            f"elapsed={elapsed:.2f}s"
+        )
         status = _SCIPY_STATUS.get(result.status, SolveStatus.ERROR)
         if status.has_solution and result.x is None:
-            # Time limit hit before any incumbent was found.
-            status = SolveStatus.ERROR
+            # Limit hit before any incumbent was found: there is no
+            # value to report, not even an unsafe one.
+            raise SolverTimeoutError(
+                f"HiGHS hit its limit with no incumbent on model "
+                f"{model.name!r} ({stats})"
+            )
+        if status is SolveStatus.ERROR:
+            raise BackendUnavailableError(
+                f"HiGHS failed (scipy status {result.status}) on model "
+                f"{model.name!r}, presolve retry included ({stats})"
+            )
         if not status.has_solution:
             return MilpSolution(
                 status=status, runtime_seconds=elapsed, backend=self.name

@@ -9,6 +9,21 @@ from typing import Mapping
 from repro.milp.expr import Var
 
 
+class DegradationLevel(enum.IntEnum):
+    """How far a resilient solve degraded from the exact MILP.
+
+    Levels are ordered from exact to most conservative; every level is
+    safe-side for the delay maximisations in this package (each step's
+    optimum upper-bounds the previous step's), so a higher level trades
+    tightness — never soundness — for availability.
+    """
+
+    EXACT = 0
+    DUAL_BOUND = 1
+    LP_RELAXATION = 2
+    CLOSED_FORM = 3
+
+
 class SolveStatus(enum.Enum):
     """Outcome of a MILP solve."""
 
@@ -35,6 +50,9 @@ class MilpSolution:
         runtime_seconds: Wall-clock time spent in the backend.
         backend: Name of the backend that produced the solution.
         node_count: Branch-and-bound nodes explored (if reported).
+        degradation: Which rung of the safe-degradation ladder produced
+            this solution (:attr:`DegradationLevel.EXACT` unless a
+            :class:`repro.milp.ResilientBackend` had to fall back).
     """
 
     status: SolveStatus
@@ -43,6 +61,7 @@ class MilpSolution:
     runtime_seconds: float = 0.0
     backend: str = ""
     node_count: int | None = None
+    degradation: DegradationLevel = DegradationLevel.EXACT
 
     def __getitem__(self, var: Var) -> float:
         return self.values[var]

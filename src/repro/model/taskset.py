@@ -10,6 +10,7 @@ the greedy algorithm of Sec. VI side-effect free.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import ModelError
@@ -62,6 +63,31 @@ class TaskSet:
 
     def __repr__(self) -> str:
         return f"TaskSet({list(self._tasks)!r})"
+
+    def digest(self) -> str:
+        """Short stable hex digest of the task parameters.
+
+        Unlike :func:`hash`, the value is stable across processes, so
+        failure ledgers and checkpoints can name the exact task set a
+        fault occurred on.
+        """
+        h = hashlib.sha256()
+        for t in self._tasks:
+            h.update(
+                repr(
+                    (
+                        t.name,
+                        t.exec_time,
+                        t.copy_in,
+                        t.copy_out,
+                        t.deadline,
+                        t.priority,
+                        t.arrivals,
+                        t.latency_sensitive,
+                    )
+                ).encode()
+            )
+        return h.hexdigest()[:16]
 
     # ------------------------------------------------------------------
     # lookups

@@ -105,3 +105,46 @@ class TestRefinedAnalysis:
             result = analysis.response_time(ts, task)
             assume(result.converged)
             assert trace.max_response_time(task.name) <= result.wcrt + 1e-6
+
+
+class TestRefinementSurcharge:
+    """Pinned falsifying examples: the refined count must keep the
+    structural intervals that the paper's surplus carries absorb."""
+
+    def _check(self, ts, seed):
+        rng = np.random.default_rng(seed)
+        trace = ProposedSimulator(ts).run(sporadic_plan(ts, 400.0, rng))
+        refined = ProposedAnalysis(_EXACT, carry_refinement=True)
+        paper = ProposedAnalysis(_EXACT)
+        for task in ts:
+            bound = refined.response_time(ts, task).wcrt
+            assert trace.max_response_time(task.name) <= bound + 1e-6, task.name
+            assert bound <= paper.response_time(ts, task).wcrt + 1e-9, task.name
+
+    def test_cancellation_bubble_from_hp_ls_promotion(self):
+        # An urgent promotion of t1 cancels t2's copy-in, leaving a
+        # CPU-idle interval that holds only the doomed copy-in.
+        ts = TaskSet([
+            Task.sporadic("t0", exec_time=0.5, period=16.0, deadline=16.0,
+                          copy_in=0.0, copy_out=0.0, priority=0),
+            Task.sporadic("t1", exec_time=0.5, period=8.8, deadline=8.0,
+                          copy_in=0.0, copy_out=0.0, priority=1,
+                          latency_sensitive=True),
+            Task.sporadic("t2", exec_time=1.0, period=12.0, deadline=10.0,
+                          copy_in=0.3, copy_out=0.3, priority=2,
+                          latency_sensitive=True),
+        ])
+        self._check(ts, seed=156)
+
+    def test_partial_interval_at_release(self):
+        # t1 is released while t0's copy-in occupies the DMA with the
+        # CPU idle: the in-progress interval delays t1 without any
+        # higher-priority execution inside the window.
+        ts = TaskSet([
+            Task.sporadic("t0", exec_time=1.0, period=8.0, deadline=8.0,
+                          copy_in=0.3, copy_out=0.3, priority=0),
+            Task.sporadic("t1", exec_time=1.0, period=8.8, deadline=8.0,
+                          copy_in=0.0, copy_out=0.0, priority=1,
+                          latency_sensitive=True),
+        ])
+        self._check(ts, seed=0)

@@ -106,6 +106,30 @@ class TestCommands:
         assert "schedulability ratio" in out
         assert csv_out.exists()
 
+    def test_figure_checkpoint_and_resume(self, capsys, tmp_path):
+        checkpoint = tmp_path / "ck.json"
+        base = ["figure", "fig2e", "--sets", "1", "--method", "closed_form",
+                "--checkpoint", str(checkpoint)]
+        assert main(base) == 0
+        assert checkpoint.exists()
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "schedulability ratio" in out
+
+    def test_figure_failure_policy_flag(self, capsys):
+        code = main(
+            ["figure", "fig2e", "--sets", "1", "--method", "closed_form",
+             "--failure-policy", "skip"]
+        )
+        assert code == 0
+
+    def test_figure_rejects_unknown_failure_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["figure", "fig2e", "--failure-policy", "explode"]
+            )
+
     def test_demo_runs(self, capsys):
         code = main(["demo"])
         out = capsys.readouterr().out
