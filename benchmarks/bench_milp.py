@@ -92,3 +92,33 @@ def test_greedy_assignment_full_pipeline(benchmark, taskset):
         iterations=1,
     )
     assert outcome.rounds >= 1
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_greedy_assignment_cached_vs_uncached(benchmark, taskset):
+    """Memoised greedy run: strictly fewer MILP solves, same outcome.
+
+    The cached pass re-runs the exact greedy pipeline inside a fresh
+    cache scope; the uncached pass uses a disabled cache with identical
+    instrumentation, measuring the seed behaviour.
+    """
+    from repro.analysis.cache import AnalysisCache, cache_scope
+
+    def run(enabled):
+        cache = AnalysisCache(enabled=enabled)
+        with cache_scope(cache):
+            outcome = greedy_ls_assignment(taskset, collect_results=False)
+        return outcome, cache.stats()
+
+    baseline, baseline_stats = run(enabled=False)
+    outcome, stats = benchmark.pedantic(
+        lambda: run(enabled=True), rounds=1, iterations=1
+    )
+    assert outcome.schedulable == baseline.schedulable
+    assert outcome.ls_names == baseline.ls_names
+    assert stats["milp_solves"] <= baseline_stats["milp_solves"]
+    print(
+        f"\nMILP solves: {stats['milp_solves']} cached "
+        f"vs {baseline_stats['milp_solves']} uncached "
+        f"({stats['hits']} cache hits)"
+    )

@@ -14,6 +14,7 @@
 * :mod:`repro.analysis.schedulability` — task-set level front end.
 """
 
+from repro.analysis.cache import AnalysisCache, active_cache, cache_scope
 from repro.analysis.interface import (
     AnalysisOptions,
     TaskResult,
@@ -29,6 +30,9 @@ from repro.analysis.ls_assignment import (
 from repro.analysis.schedulability import analyze_taskset, is_schedulable
 
 __all__ = [
+    "AnalysisCache",
+    "active_cache",
+    "cache_scope",
     "AnalysisOptions",
     "TaskResult",
     "TaskSetResult",

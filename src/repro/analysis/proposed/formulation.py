@@ -137,6 +137,28 @@ def _lin(vars_and_coefs: list[tuple[Var | None, float]]) -> LinExpr:
     return expr
 
 
+def cancellation_budget(
+    taskset: TaskSet, task: Task, window: Time, mode: AnalysisMode
+) -> int:
+    """Max cancellations in the window (DESIGN.md cancellation budget).
+
+    Each cancellation is triggered by one LS release inside the window;
+    under case (a) the task's own release at the window start counts
+    too. Exposed as a function because, together with the interference
+    budgets and ``N_i(t)``, it is one of the three integer staircases
+    through which the window enters the formulation — the analysis
+    cache keys on exactly these quantities.
+    """
+    if not mode.uses_ls_machinery:
+        return 0
+    budget = sum(
+        s.eta(window) + 1 for s in taskset.ls_tasks if s.name != task.name
+    )
+    if mode is AnalysisMode.LS_CASE_A:
+        budget += 1
+    return budget
+
+
 def _big_m(taskset: TaskSet) -> float:
     """A safe upper bound on any single interval's length.
 
@@ -367,14 +389,11 @@ def _build_windowed(
     # ------------------------------------------------------------------
     cl_vars = CL.all_vars()
     if cl_vars:
-        budget = sum(
-            s.eta(window) + 1
-            for s in taskset.ls_tasks
-            if s.name != task.name
+        model.add(
+            LinExpr.total(cl_vars)
+            <= cancellation_budget(taskset, task, window, mode),
+            "CLbudget",
         )
-        if mode is AnalysisMode.LS_CASE_A:
-            budget += 1  # tau_i's own release at the window start
-        model.add(LinExpr.total(cl_vars) <= budget, "CLbudget")
 
     # ------------------------------------------------------------------
     # Constraint 9: CPU time per interval.

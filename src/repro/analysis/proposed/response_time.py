@@ -18,12 +18,27 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+from repro.analysis.cache import (
+    AnalysisCache,
+    active_cache,
+    case_b_key,
+    delay_milp_key,
+)
 from repro.analysis.interface import AnalysisOptions, TaskResult, TaskSetResult
 from repro.analysis.proposed.closed_form import (
     closed_form_delay_bound,
     ls_case_b_bound,
 )
-from repro.analysis.proposed.formulation import AnalysisMode, build_delay_milp
+from repro.analysis.proposed.formulation import (
+    AnalysisMode,
+    build_delay_milp,
+    cancellation_budget,
+)
+from repro.analysis.proposed.intervals import (
+    interference_budget,
+    interval_count_ls,
+    interval_count_nls,
+)
 from repro.errors import InfeasibleModelError, SolverError, UnboundedModelError
 from repro.milp.highs import HighsBackend
 from repro.milp.model import MilpBackend, MilpModel
@@ -60,6 +75,37 @@ class _IterationOutcome:
         self.details = details
 
 
+class _DelayEval:
+    """One evaluation of the delay map ``f`` at a window.
+
+    ``objective`` is the MILP optimum (the delaying-interval length;
+    add ``copy_out`` for the response), except when ``proved_met`` is
+    set: then only the LP relaxation ran and ``objective`` is its
+    over-approximating bound, already known to fit the deadline.
+    """
+
+    __slots__ = (
+        "objective", "num_intervals", "stats", "degradation",
+        "cached", "proved_met",
+    )
+
+    def __init__(
+        self,
+        objective: float,
+        num_intervals: int,
+        stats: dict,
+        degradation: int,
+        cached: bool,
+        proved_met: bool = False,
+    ) -> None:
+        self.objective = objective
+        self.num_intervals = num_intervals
+        self.stats = stats
+        self.degradation = degradation
+        self.cached = cached
+        self.proved_met = proved_met
+
+
 class ProposedAnalysis:
     """WCRT analysis for the paper's protocol (rules R1-R6).
 
@@ -90,6 +136,7 @@ class ProposedAnalysis:
         backend_factory: BackendFactory | None = None,
         method: str = "milp",
         carry_refinement: bool = False,
+        cache: AnalysisCache | None = None,
     ) -> None:
         if method not in ("milp", "lp", "closed_form"):
             raise ValueError(f"unknown method {method!r}")
@@ -103,6 +150,11 @@ class ProposedAnalysis:
         else:
             self.backend_factory = _default_backend_factory(self.options)
         self.method = method
+        if cache is not None:
+            self.cache = cache
+        else:
+            scoped = active_cache()
+            self.cache = scoped if scoped is not None else AnalysisCache()
         #: Opt-in deviation from the paper: charge higher-priority
         #: interference with the jitter-aware bound eta(t + R_j)
         #: instead of Theorem 1's eta(t) + 1 (see intervals.py). The
@@ -202,15 +254,184 @@ class ProposedAnalysis:
             )
         return model.solve(backend)
 
+    def _solver_signature(self) -> tuple:
+        """Solver-relevant options included in every cache key.
+
+        Two analyses whose signatures differ must never share a cached
+        objective: a different backend, time limit, gap, or resilience
+        chain may return a different (still sound) bound.
+        """
+        sig = getattr(self, "_solver_sig", None)
+        if sig is None:
+            factory = self.backend_factory
+            backend_tag = getattr(
+                factory, "name", None
+            ) or getattr(factory, "__qualname__", repr(factory))
+            sig = (
+                self.method,
+                str(backend_tag),
+                self.options.time_limit,
+                self.options.mip_rel_gap,
+                repr(self.options.resilience),
+            )
+            self._solver_sig = sig
+        return sig
+
+    def _window_signature(
+        self,
+        taskset: TaskSet,
+        task: Task,
+        window: Time,
+        mode: AnalysisMode,
+        hp_wcrt: dict[str, Time] | None,
+    ) -> tuple[int, tuple[int, ...], int]:
+        """The integer staircases through which the window enters the MILP.
+
+        Returns ``(N_i(t), per-task budgets, cancellation budget)`` —
+        together they carry *every* dependence of the formulation on
+        ``t``, so two windows with equal signatures build the identical
+        model (the fact the memo key relies on).
+        """
+        count = (
+            interval_count_ls
+            if mode is AnalysisMode.LS_CASE_A
+            else interval_count_nls
+        )
+        n = count(
+            taskset, task, window, hp_wcrt,
+            urgent_possible=mode.uses_ls_machinery,
+        )
+        budgets = tuple(
+            interference_budget(j, window, hp_wcrt)
+            if j.priority < task.priority
+            else 1
+            for j in taskset
+            if j.name != task.name
+        )
+        return n, budgets, cancellation_budget(taskset, task, window, mode)
+
+    def _delay_objective(
+        self,
+        taskset: TaskSet,
+        task: Task,
+        window: Time,
+        mode: AnalysisMode,
+        hp_wcrt: dict[str, Time] | None,
+        lp_screen_deadline: Time | None = None,
+    ) -> _DelayEval:
+        """Evaluate the delay map ``f`` at ``window``, memoised.
+
+        A cache hit returns the exact objective a fresh build-and-solve
+        would produce (the key digests the MILP's full semantic
+        content, see :mod:`repro.analysis.cache`). Degraded solutions
+        — where the resilient backend substituted a weaker bound — are
+        never stored, so a retry keeps its chance of a sharper value.
+
+        With ``lp_screen_deadline`` set (verdict path, exact-MILP
+        method only), the LP relaxation of the freshly built model runs
+        first; if even its over-approximation fits the deadline the
+        integer solve is skipped and the eval comes back with
+        ``proved_met`` — sound because relaxing a maximisation can only
+        raise the objective.
+        """
+        n, budgets, cl_budget = self._window_signature(
+            taskset, task, window, mode, hp_wcrt
+        )
+        key = delay_milp_key(
+            taskset, task, mode.value, n, budgets, cl_budget,
+            hp_wcrt, self._solver_signature(),
+        )
+        entry = self.cache.get(key)
+        if entry is not None:
+            objective, num_intervals, stats, degradation = entry
+            return _DelayEval(
+                objective, num_intervals, dict(stats), degradation, cached=True
+            )
+        screening = lp_screen_deadline is not None and self.method == "milp"
+        lp_bound = self.cache.get("lp:" + key) if screening else None
+        if (
+            lp_bound is not None
+            and lp_bound + task.copy_out <= lp_screen_deadline + 1e-9
+        ):
+            self.cache.bump("lp_screens")
+            return _DelayEval(
+                lp_bound, n, {}, 0, cached=True, proved_met=True
+            )
+        built = build_delay_milp(taskset, task, window, mode, hp_wcrt=hp_wcrt)
+        if screening and lp_bound is None:
+            # Middle screening tier: the LP relaxation of the same
+            # formulation is a safe over-approximation — if even it
+            # fits the deadline, the MILP bound does too, and the
+            # integer solve never runs. The model is built exactly
+            # once and shared with the integer solve below.
+            from repro.milp.relaxation import LpRelaxationBackend
+
+            try:
+                relaxed = built.model.solve(LpRelaxationBackend())
+                self.cache.bump("lp_solves")
+            except SolverError:
+                relaxed = None  # screen only; the MILP path decides
+            if relaxed is not None and relaxed.status is SolveStatus.OPTIMAL:
+                self.cache.put("lp:" + key, relaxed.objective)
+                if (
+                    relaxed.objective + task.copy_out
+                    <= lp_screen_deadline + 1e-9
+                ):
+                    self.cache.bump("lp_screens")
+                    return _DelayEval(
+                        relaxed.objective,
+                        built.num_intervals,
+                        dict(built.stats),
+                        0,
+                        cached=False,
+                        proved_met=True,
+                    )
+        solution = self._solve_model(built.model, taskset, task, mode)
+        self.cache.bump("lp_solves" if self.method == "lp" else "milp_solves")
+        if solution.status is SolveStatus.INFEASIBLE:
+            raise InfeasibleModelError(
+                f"delay MILP infeasible for {task.name} (mode={mode.value}, "
+                f"window={window}); this indicates a formulation bug"
+            )
+        if solution.status is SolveStatus.UNBOUNDED:
+            raise UnboundedModelError(
+                f"delay MILP unbounded for {task.name} (mode={mode.value})"
+            )
+        degradation = solution.degradation
+        if not degradation:
+            self.cache.put(
+                key,
+                (
+                    solution.objective,
+                    built.num_intervals,
+                    dict(built.stats),
+                    degradation,
+                ),
+            )
+        return _DelayEval(
+            solution.objective,
+            built.num_intervals,
+            dict(built.stats),
+            degradation,
+            cached=False,
+        )
+
     def _solve_case_b(self, taskset: TaskSet, task: Task) -> Time:
+        key = case_b_key(taskset, task, self._solver_signature())
+        entry = self.cache.get(key)
+        if entry is not None:
+            return entry + task.copy_out
         built = build_delay_milp(taskset, task, 0.0, AnalysisMode.LS_CASE_B)
         solution = self._solve_model(
             built.model, taskset, task, AnalysisMode.LS_CASE_B
         )
+        self.cache.bump("lp_solves" if self.method == "lp" else "milp_solves")
         if solution.status is SolveStatus.INFEASIBLE:
             raise InfeasibleModelError(f"case-(b) MILP infeasible for {task.name}")
         if solution.status is SolveStatus.UNBOUNDED:
             raise UnboundedModelError(f"case-(b) MILP unbounded for {task.name}")
+        if not solution.degradation:
+            self.cache.put(key, solution.objective)
         return solution.objective + task.copy_out
 
     # ------------------------------------------------------------------
@@ -232,32 +453,29 @@ class ProposedAnalysis:
             )
 
         response = task.total_cost
-        details: dict = {"method": "milp", "mode": mode.value, "solves": 0}
+        details: dict = {
+            "method": "milp", "mode": mode.value, "solves": 0, "cache_hits": 0,
+        }
         converged = False
         iterations = 0
         hp_wcrt = self._hp_wcrt_map(taskset, task)
         for iterations in range(1, options.max_iterations + 1):
             window = max(response - task.exec_time - task.copy_out, task.copy_in)
-            built = build_delay_milp(taskset, task, window, mode, hp_wcrt=hp_wcrt)
-            solution = self._solve_model(built.model, taskset, task, mode)
-            details["solves"] = iterations
-            details["num_intervals"] = built.num_intervals
-            details.setdefault("milp_stats", built.stats)
-            if solution.degradation:
+            evaluated = self._delay_objective(
+                taskset, task, window, mode, hp_wcrt
+            )
+            if evaluated.cached:
+                details["cache_hits"] += 1
+            else:
+                details["solves"] += 1
+            details["num_intervals"] = evaluated.num_intervals
+            details.setdefault("milp_stats", evaluated.stats)
+            if evaluated.degradation:
                 details["degradation"] = max(
-                    details.get("degradation", solution.degradation),
-                    solution.degradation,
+                    details.get("degradation", evaluated.degradation),
+                    evaluated.degradation,
                 )
-            if solution.status is SolveStatus.INFEASIBLE:
-                raise InfeasibleModelError(
-                    f"delay MILP infeasible for {task.name} (mode={mode.value}, "
-                    f"window={window}); this indicates a formulation bug"
-                )
-            if solution.status is SolveStatus.UNBOUNDED:
-                raise UnboundedModelError(
-                    f"delay MILP unbounded for {task.name} (mode={mode.value})"
-                )
-            new_response = solution.objective + task.copy_out
+            new_response = evaluated.objective + task.copy_out
             if new_response <= response + options.convergence_eps:
                 response = max(response, new_response)
                 converged = True
@@ -286,20 +504,10 @@ class ProposedAnalysis:
         self, taskset: TaskSet, task: Task, window: Time, mode: AnalysisMode
     ) -> Time:
         """One MILP evaluation of the delay map ``f`` at ``window``."""
-        built = build_delay_milp(
-            taskset, task, window, mode,
-            hp_wcrt=self._hp_wcrt_map(taskset, task),
+        evaluated = self._delay_objective(
+            taskset, task, window, mode, self._hp_wcrt_map(taskset, task)
         )
-        solution = self._solve_model(built.model, taskset, task, mode)
-        if solution.status is SolveStatus.INFEASIBLE:
-            raise InfeasibleModelError(
-                f"delay MILP infeasible for {task.name} (mode={mode.value})"
-            )
-        if solution.status is SolveStatus.UNBOUNDED:
-            raise UnboundedModelError(
-                f"delay MILP unbounded for {task.name} (mode={mode.value})"
-            )
-        return solution.objective + task.copy_out
+        return evaluated.objective + task.copy_out
 
     def _verdict_mode(
         self, taskset: TaskSet, task: Task, mode: AnalysisMode
@@ -310,10 +518,13 @@ class ProposedAnalysis:
 
         1. a conservative closed-form bound within the deadline proves
            schedulability without any MILP;
-        2. one MILP evaluation at the deadline-induced window
-           ``t_D = D - C - u``: the response map ``f`` is monotone, so
-           ``f(D) <= D`` makes ``D`` a pre-fixpoint and the least
-           fixpoint (the WCRT bound) is ``<= D``;
+        2. one evaluation at the deadline-induced window
+           ``t_D = D - C - u`` — the LP relaxation of the model screens
+           first (exact-MILP method), then the integer solve: the
+           response map ``f`` is monotone, so ``f(D) <= D`` makes ``D``
+           a pre-fixpoint and the least fixpoint (the WCRT bound) is
+           ``<= D``. The model is built once and shared between the LP
+           screen and the MILP solve, and the solve is memoised;
         3. otherwise the standard bottom-up iteration decides.
         """
         if task.trivially_unschedulable:
@@ -327,33 +538,24 @@ class ProposedAnalysis:
             deadline_cap=task.deadline,
         )
         if screen <= task.deadline + 1e-9:
+            self.cache.bump("closed_form_screens")
             return True
         if self.method == "closed_form":
             return False
         window_d = max(
             task.deadline - task.exec_time - task.copy_out, task.copy_in
         )
-        if self.method == "milp":
-            # Middle tier: the LP relaxation of the same formulation is
-            # a safe over-approximation — if even it fits the deadline
-            # at the deadline-induced window, the MILP bound does too.
-            built = build_delay_milp(
-                taskset, task, window_d, mode,
-                hp_wcrt=self._hp_wcrt_map(taskset, task),
-            )
-            from repro.milp.relaxation import LpRelaxationBackend
-
-            try:
-                relaxed = built.model.solve(LpRelaxationBackend())
-            except SolverError:
-                relaxed = None  # screen only; the MILP path decides
-            if (
-                relaxed is not None
-                and relaxed.status is SolveStatus.OPTIMAL
-                and relaxed.objective + task.copy_out <= task.deadline + 1e-9
-            ):
-                return True
-        if self._solve_delay(taskset, task, window_d, mode) <= task.deadline + 1e-9:
+        evaluated = self._delay_objective(
+            taskset,
+            task,
+            window_d,
+            mode,
+            self._hp_wcrt_map(taskset, task),
+            lp_screen_deadline=task.deadline,
+        )
+        if evaluated.proved_met:
+            return True
+        if evaluated.objective + task.copy_out <= task.deadline + 1e-9:
             return True
         outcome = self._iterate(taskset, task, mode)
         return outcome.wcrt <= task.deadline + 1e-9

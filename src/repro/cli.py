@@ -123,7 +123,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             flush=True,
         )
 
-    print(f"running {args.inset} with {args.sets} task sets per point")
+    workers = f", {args.jobs} workers" if args.jobs > 1 else ""
+    print(
+        f"running {args.inset} with {args.sets} task sets per point{workers}"
+    )
     result = run_experiment(
         config,
         options=options,
@@ -131,6 +134,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         failure_policy=args.failure_policy,
         checkpoint_path=args.checkpoint or None,
         resume=args.resume,
+        jobs=args.jobs,
     )
     print()
     print(render_sweep_table(result))
@@ -297,6 +301,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[p.value for p in FailurePolicy],
         default=FailurePolicy.COUNT_UNSCHEDULABLE.value,
         help="how failed taskset/protocol pairs enter the ratios",
+    )
+    p_fig.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (results are bit-identical "
+        "to --jobs 1)",
     )
     p_fig.set_defaults(func=_cmd_figure)
 

@@ -77,6 +77,8 @@ def _point_to_dict(point: PointResult) -> dict:
     }
     if point.failures:
         payload["failures"] = [dataclasses.asdict(f) for f in point.failures]
+    if point.analysis_stats:
+        payload["analysis_stats"] = dict(point.analysis_stats)
     return payload
 
 
@@ -89,6 +91,7 @@ def _point_from_dict(raw: dict) -> PointResult:
         failures=tuple(
             FailureRecord(**f) for f in raw.get("failures", ())
         ),
+        analysis_stats=raw.get("analysis_stats", {}),
     )
 
 
@@ -167,6 +170,11 @@ def merge_sweeps(a: SweepResult, b: SweepResult) -> SweepResult:
                 sets_evaluated=total,
                 elapsed_seconds=pa.elapsed_seconds + pb.elapsed_seconds,
                 failures=pa.failures + pb.failures,
+                analysis_stats={
+                    name: pa.analysis_stats.get(name, 0)
+                    + pb.analysis_stats.get(name, 0)
+                    for name in {*pa.analysis_stats, *pb.analysis_stats}
+                },
             )
         )
     merged_config = dataclasses.replace(

@@ -50,6 +50,21 @@ def render_sweep_table(result: SweepResult) -> str:
             f"failures: {len(result.failures)} taskset/protocol pairs "
             "(see failure ledger)"
         )
+    stats: dict[str, int] = {}
+    for point in result.points:
+        for name, value in point.analysis_stats.items():
+            stats[name] = stats.get(name, 0) + value
+    lookups = stats.get("hits", 0) + stats.get("misses", 0)
+    if lookups:
+        hit_rate = stats.get("hits", 0) / lookups
+        lines.append(
+            f"analysis cache: {stats.get('hits', 0)} hits / {lookups} "
+            f"lookups ({hit_rate:.0%}), "
+            f"{stats.get('milp_solves', 0)} MILP + "
+            f"{stats.get('lp_solves', 0)} LP solves, "
+            f"{stats.get('closed_form_screens', 0)} closed-form + "
+            f"{stats.get('lp_screens', 0)} LP screens"
+        )
     return "\n".join(lines)
 
 

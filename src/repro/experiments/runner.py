@@ -8,20 +8,39 @@ how the failed pair enters the ratios. With ``checkpoint_path`` set,
 every completed point is persisted atomically so an interrupted sweep
 resumes from where it stopped (see
 :mod:`repro.experiments.persistence`).
+
+Parallel execution
+------------------
+``run_experiment(..., jobs=N)`` fans the sweep out over a
+``ProcessPoolExecutor``. The unit of work is one **(point, task set)**
+pair — each worker regenerates the point's task-set sample from the
+deterministic seed ``config.seed + point_index`` (memoised per
+process) and evaluates every protocol on its one set, so no task set
+crosses a process boundary and the sample is bit-identical to the
+sequential run's. Workers return per-unit integer verdict counts and
+failure ledgers; the parent merges them in task-set order, computes
+the ratios from the summed integers (the same division the sequential
+path performs), and is the *only* process that touches the checkpoint
+file — one atomic write per completed point, regardless of worker
+count. Both paths open one fresh analysis cache per unit, so the
+surfaced hit/miss counters are deterministic and identical as well.
 """
 
 from __future__ import annotations
 
 import enum
 import time
-from dataclasses import dataclass
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Mapping
 
+from repro.analysis.cache import AnalysisCache, cache_scope
 from repro.analysis.interface import AnalysisOptions
 from repro.analysis.schedulability import is_schedulable
 from repro.errors import ExperimentError, ReproError
 from repro.experiments.config import ExperimentConfig, SweepPoint
-from repro.generator.taskset_gen import generate_tasksets
+from repro.generator.taskset_gen import GenerationConfig, generate_tasksets
 from repro.model.taskset import TaskSet
 
 
@@ -79,13 +98,20 @@ class FailureRecord:
 
 @dataclass(frozen=True)
 class PointResult:
-    """Schedulability ratios of all protocols at one sweep point."""
+    """Schedulability ratios of all protocols at one sweep point.
+
+    ``analysis_stats`` aggregates the per-unit analysis-cache counters
+    (hits, misses, MILP/LP solves, screen hits) over the point's task
+    sets; empty when the evaluation bypassed the real analysis (e.g.
+    stubbed in tests or loaded from an old artifact).
+    """
 
     x: float
     ratios: Mapping[str, float]
     sets_evaluated: int
     elapsed_seconds: float
     failures: tuple[FailureRecord, ...] = ()
+    analysis_stats: Mapping[str, int] = field(default_factory=dict)
 
     def ratio(self, protocol: str) -> float:
         return self.ratios[protocol]
@@ -93,10 +119,25 @@ class PointResult:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """A full experiment's series, one :class:`PointResult` per point."""
+    """A full experiment's series, one :class:`PointResult` per point.
+
+    Points are normalised to ascending x on construction, so a result
+    assembled from out-of-order completions (parallel execution,
+    merged checkpoints) yields the same ``series()``/``x_values`` as a
+    strictly sequential run.
+    """
 
     config: ExperimentConfig
     points: tuple[PointResult, ...]
+
+    def __post_init__(self) -> None:
+        pts = self.points
+        if any(pts[i].x > pts[i + 1].x for i in range(len(pts) - 1)):
+            object.__setattr__(
+                self,
+                "points",
+                tuple(sorted(pts, key=lambda p: p.x)),
+            )
 
     def series(self, protocol: str) -> list[tuple[float, float]]:
         """``(x, ratio)`` pairs of one protocol across the sweep."""
@@ -130,28 +171,44 @@ class SweepResult:
         )
 
 
-def run_point(
+@dataclass(frozen=True)
+class _UnitResult:
+    """Verdict counts of one (point, task set) work unit.
+
+    Pure integer deltas plus the unit's failure ledger and cache
+    counters — everything the parent needs to merge units in task-set
+    order into a :class:`PointResult` that is bit-identical to the
+    sequential evaluation.
+    """
+
+    taskset_index: int
+    counts: Mapping[str, int]
+    attempted: Mapping[str, int]
+    failures: tuple[FailureRecord, ...]
+    cache_stats: Mapping[str, int]
+    elapsed_seconds: float
+
+
+def _evaluate_unit(
     point: SweepPoint,
     config: ExperimentConfig,
     seed: int,
-    options: AnalysisOptions | None = None,
-    failure_policy: FailurePolicy | str = FailurePolicy.COUNT_UNSCHEDULABLE,
-) -> PointResult:
-    """Evaluate every protocol on the same task sets at one point.
+    taskset_index: int,
+    taskset: TaskSet,
+    policy: FailurePolicy,
+    options: AnalysisOptions | None,
+) -> _UnitResult:
+    """Evaluate every protocol on one task set, inside a fresh cache scope.
 
-    A failing taskset/protocol pair never aborts the point (unless the
-    policy is ``RAISE``): it is recorded in the point's failure ledger
-    and enters the ratio per ``failure_policy``.
+    Shared by the sequential and the parallel path, so both produce
+    the same verdicts, the same failure records in the same order, and
+    the same cache counters (the scope is per unit in both).
     """
-    policy = _coerce_policy(failure_policy)
     start = time.perf_counter()
-    tasksets = list(
-        generate_tasksets(point.generation, config.sets_per_point, seed)
-    )
     counts = {protocol: 0 for protocol in config.protocols}
     attempted = {protocol: 0 for protocol in config.protocols}
     failures: list[FailureRecord] = []
-    for index, taskset in enumerate(tasksets):
+    with cache_scope(AnalysisCache()) as cache:
         for protocol in config.protocols:
             try:
                 verdict = is_schedulable(
@@ -170,7 +227,7 @@ def run_point(
                         x=point.x,
                         protocol=protocol,
                         seed=seed,
-                        taskset_index=index,
+                        taskset_index=taskset_index,
                         taskset_digest=taskset.digest(),
                         error_type=type(exc).__name__,
                         message=str(exc),
@@ -185,15 +242,197 @@ def run_point(
             attempted[protocol] += 1
             if verdict:
                 counts[protocol] += 1
+    return _UnitResult(
+        taskset_index=taskset_index,
+        counts=counts,
+        attempted=attempted,
+        failures=tuple(failures),
+        cache_stats=cache.stats(),
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def _merge_units(
+    point: SweepPoint,
+    config: ExperimentConfig,
+    units: "list[_UnitResult]",
+    elapsed_seconds: float,
+) -> PointResult:
+    """Fold unit results (any completion order) into one point result.
+
+    Units are sorted by task-set index first, so failure ledgers and
+    summed counters are independent of completion order; the ratios
+    come from the summed integer counts — the exact division the
+    sequential path performs.
+    """
+    units = sorted(units, key=lambda u: u.taskset_index)
+    counts = {protocol: 0 for protocol in config.protocols}
+    attempted = {protocol: 0 for protocol in config.protocols}
+    stats: dict[str, int] = {}
+    failures: list[FailureRecord] = []
+    for unit in units:
+        for protocol in config.protocols:
+            counts[protocol] += unit.counts[protocol]
+            attempted[protocol] += unit.attempted[protocol]
+        for name, value in unit.cache_stats.items():
+            stats[name] = stats.get(name, 0) + value
+        failures.extend(unit.failures)
     return PointResult(
         x=point.x,
         ratios={
             p: (counts[p] / attempted[p]) if attempted[p] else 0.0
             for p in config.protocols
         },
-        sets_evaluated=len(tasksets),
-        elapsed_seconds=time.perf_counter() - start,
+        sets_evaluated=len(units),
+        elapsed_seconds=elapsed_seconds,
         failures=tuple(failures),
+        analysis_stats=stats,
+    )
+
+
+def run_point(
+    point: SweepPoint,
+    config: ExperimentConfig,
+    seed: int,
+    options: AnalysisOptions | None = None,
+    failure_policy: FailurePolicy | str = FailurePolicy.COUNT_UNSCHEDULABLE,
+) -> PointResult:
+    """Evaluate every protocol on the same task sets at one point.
+
+    A failing taskset/protocol pair never aborts the point (unless the
+    policy is ``RAISE``): it is recorded in the point's failure ledger
+    and enters the ratio per ``failure_policy``.
+    """
+    policy = _coerce_policy(failure_policy)
+    start = time.perf_counter()
+    tasksets = list(
+        generate_tasksets(point.generation, config.sets_per_point, seed)
+    )
+    units = [
+        _evaluate_unit(point, config, seed, index, taskset, policy, options)
+        for index, taskset in enumerate(tasksets)
+    ]
+    return _merge_units(
+        point, config, units, time.perf_counter() - start
+    )
+
+
+# ----------------------------------------------------------------------
+# parallel engine
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=4)
+def _tasksets_for(
+    generation: GenerationConfig, count: int, seed: int
+) -> tuple[TaskSet, ...]:
+    """Per-process memo of one point's generated sample.
+
+    Workers receive only (point index, task set index) and regenerate
+    the sample from the deterministic seed — identical to the
+    sequential path's — so task sets never cross process boundaries;
+    the memo amortises the generation over a point's many units.
+    """
+    return tuple(generate_tasksets(generation, count, seed))
+
+
+def _worker_evaluate(
+    config: ExperimentConfig,
+    point_index: int,
+    taskset_index: int,
+    options: AnalysisOptions | None,
+    policy_value: str,
+) -> "tuple[int, _UnitResult]":
+    """Process-pool entry point: evaluate one (point, task set) unit."""
+    point = config.points[point_index]
+    seed = config.seed + point_index
+    taskset = _tasksets_for(
+        point.generation, config.sets_per_point, seed
+    )[taskset_index]
+    unit = _evaluate_unit(
+        point,
+        config,
+        seed,
+        taskset_index,
+        taskset,
+        FailurePolicy(policy_value),
+        options,
+    )
+    return point_index, unit
+
+
+def _run_experiment_parallel(
+    config: ExperimentConfig,
+    options: AnalysisOptions | None,
+    progress: Callable[[PointResult], None] | None,
+    policy: FailurePolicy,
+    checkpoint_path: "str | None",
+    completed: "dict[int, PointResult]",
+    jobs: int,
+) -> SweepResult:
+    """Fan (point, task set) units over a process pool and merge.
+
+    The parent is the only writer of the checkpoint file: it collects
+    unit results as they complete and performs exactly one atomic
+    ``save_checkpoint`` when a point's last unit arrives, so a crash
+    can lose at most the in-flight points — never corrupt the file.
+    """
+    point_started = {
+        index: time.perf_counter()
+        for index in range(len(config.points))
+        if index not in completed
+    }
+    unit_results: dict[int, dict[int, _UnitResult]] = {
+        index: {} for index in point_started
+    }
+    pending = [
+        (point_index, taskset_index)
+        for point_index in sorted(point_started)
+        for taskset_index in range(config.sets_per_point)
+    ]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(
+                _worker_evaluate,
+                config,
+                point_index,
+                taskset_index,
+                options,
+                policy.value,
+            )
+            for point_index, taskset_index in pending
+        }
+        while futures:
+            done, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                try:
+                    point_index, unit = future.result()
+                except BaseException:
+                    # RAISE policy (or an unexpected worker crash):
+                    # drop the queued units so the pool winds down
+                    # promptly instead of draining the whole sweep.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+                bucket = unit_results[point_index]
+                bucket[unit.taskset_index] = unit
+                if len(bucket) < config.sets_per_point:
+                    continue
+                result = _merge_units(
+                    config.points[point_index],
+                    config,
+                    list(bucket.values()),
+                    time.perf_counter() - point_started[point_index],
+                )
+                completed[point_index] = result
+                if checkpoint_path is not None:
+                    from repro.experiments.persistence import save_checkpoint
+
+                    save_checkpoint(checkpoint_path, config, completed)
+                if progress is not None:
+                    progress(result)
+    return SweepResult(
+        config=config,
+        points=tuple(
+            completed[index] for index in range(len(config.points))
+        ),
     )
 
 
@@ -204,6 +443,7 @@ def run_experiment(
     failure_policy: FailurePolicy | str = FailurePolicy.COUNT_UNSCHEDULABLE,
     checkpoint_path: "str | None" = None,
     resume: bool = False,
+    jobs: int = 1,
 ) -> SweepResult:
     """Run a full sweep (all points, all protocols, shared task sets).
 
@@ -211,21 +451,33 @@ def run_experiment(
         config: The experiment definition.
         options: Analysis options (e.g. per-MILP time limits).
         progress: Optional callback invoked after each point, for
-            long-running CLI feedback.
+            long-running CLI feedback. Under ``jobs > 1`` points are
+            reported in completion order (the returned sweep is always
+            in point order).
         failure_policy: How failed taskset/protocol pairs enter the
             ratios (see :class:`FailurePolicy`).
         checkpoint_path: When set, each completed point is persisted
-            there atomically (JSON keyed by a config digest).
+            there atomically (JSON keyed by a config digest); only the
+            parent process ever writes it.
         resume: Reload ``checkpoint_path`` and skip the points it
             already holds; point ``i`` always uses ``config.seed + i``,
             so a resumed sweep is bit-identical to an uninterrupted one.
+        jobs: Worker processes. ``1`` (the default) runs in-process;
+            ``N > 1`` fans (point, task set) units over a process pool
+            with bit-identical results (see the module docstring).
     """
     policy = _coerce_policy(failure_policy)
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
     completed: dict[int, PointResult] = {}
     if checkpoint_path is not None and resume:
         from repro.experiments.persistence import load_checkpoint
 
         completed = load_checkpoint(checkpoint_path, config, missing_ok=True)
+    if jobs > 1:
+        return _run_experiment_parallel(
+            config, options, progress, policy, checkpoint_path, completed, jobs
+        )
     results = []
     for index, point in enumerate(config.points):
         if index in completed:
@@ -255,8 +507,15 @@ def compare_on_taskset(
     options: AnalysisOptions | None = None,
     method: str = "milp",
 ) -> dict[str, bool]:
-    """Verdicts of several protocols on one concrete task set."""
-    return {
-        protocol: is_schedulable(taskset, protocol, options=options, method=method)
-        for protocol in protocols
-    }
+    """Verdicts of several protocols on one concrete task set.
+
+    All protocols share one analysis-cache scope: fixpoint solves
+    whose inputs coincide across protocols are paid for once.
+    """
+    with cache_scope(AnalysisCache()):
+        return {
+            protocol: is_schedulable(
+                taskset, protocol, options=options, method=method
+            )
+            for protocol in protocols
+        }
