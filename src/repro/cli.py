@@ -9,6 +9,8 @@ Subcommands::
     repro sensitivity <taskset> [--knob ...]      critical scaling factor
     repro metrics     <taskset> [--protocol ...]  simulate + trace metrics
     repro witness     <taskset> <task>            decode the worst-case window
+    repro audit       <taskset> [--task ...]      static MILP soundness audit
+    repro lint        [--rule ...]                project invariant linter
 
 Task sets load from CSV (``name,C,l,u,T,D``) or lossless JSON
 (see :mod:`repro.io`).
@@ -234,6 +236,62 @@ def _cmd_witness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.analysis.proposed.formulation import (
+        AnalysisMode,
+        build_delay_milp,
+    )
+    from repro.milp.audit import audit_delay_milp
+
+    taskset = load_taskset(args.taskset)
+    if args.ls:
+        taskset = taskset.with_ls_marks(args.ls.split(","))
+    tasks = [taskset.by_name(args.task)] if args.task else list(taskset)
+    failed = 0
+    for task in tasks:
+        if task.latency_sensitive:
+            modes = [AnalysisMode.LS_CASE_A, AnalysisMode.LS_CASE_B]
+        elif args.protocol == "wasly":
+            modes = [AnalysisMode.WASLY]
+        else:
+            modes = [AnalysisMode.NLS]
+        window = args.window
+        if window is None:
+            window = max(
+                task.deadline - task.exec_time - task.copy_out, task.copy_in
+            )
+        for mode in modes:
+            built = build_delay_milp(
+                taskset,
+                task,
+                0.0 if mode is AnalysisMode.LS_CASE_B else window,
+                mode,
+            )
+            report = audit_delay_milp(built, taskset, task)
+            print(report.render())
+            if not report.ok:
+                failed += 1
+    verdict = "FAILED" if failed else "passed"
+    print(
+        f"audit {verdict}: {len(tasks)} task(s), "
+        f"{failed} model(s) with errors"
+    )
+    return 1 if failed else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import run_lint
+
+    violations = run_lint(rules=args.rule)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"{len(violations)} invariant violation(s)")
+        return 1
+    print("all project invariants hold")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -349,6 +407,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="delay window (default: deadline-induced)")
     p_wit.add_argument("--ls", default="", help="names to mark LS")
     p_wit.set_defaults(func=_cmd_witness)
+
+    p_aud = sub.add_parser(
+        "audit",
+        help="static soundness audit of the delay MILPs (no solve)",
+    )
+    p_aud.add_argument("taskset", help="task-set CSV/JSON file")
+    p_aud.add_argument(
+        "--task", default="", help="audit only this task (default: all)"
+    )
+    p_aud.add_argument(
+        "--protocol", choices=("proposed", "wasly"), default="proposed"
+    )
+    p_aud.add_argument(
+        "--window", type=float, default=None,
+        help="delay window (default: deadline-induced)",
+    )
+    p_aud.add_argument("--ls", default="", help="names to mark LS")
+    p_aud.set_defaults(func=_cmd_audit)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the project invariant linter over src/repro"
+    )
+    from repro.lint import RULES
+
+    p_lint.add_argument(
+        "--rule",
+        action="append",
+        choices=sorted(RULES),
+        help="run only this rule (repeatable; default: all)",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

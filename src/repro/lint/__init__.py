@@ -1,0 +1,41 @@
+"""Project invariant linter (AST-based custom rules).
+
+Generic linters cannot know that this repo's analysis cache must digest
+*every* semantic input of the MILP formulation, or that code reachable
+from the process-pool work units must be deterministic. These rules
+encode exactly those invariants; they run as ``repro lint``, as
+``python tools/lint_rules.py``, and in CI alongside ruff and mypy.
+
+Rules
+-----
+``cache-key-completeness``
+    Every :class:`repro.model.task.Task` attribute read by the MILP
+    formulation must be covered by the analysis-cache digest (or be on
+    the documented exemption list). See :mod:`repro.lint.cache_key`.
+``worker-determinism``
+    No unseeded randomness or wall-clock-dependent values in code
+    statically reachable from the process-pool work units. See
+    :mod:`repro.lint.determinism`.
+``float-time-equality``
+    No ``==``/``!=`` between time-valued floats (windows, WCRTs,
+    phases); exact comparison of iterated fixpoint values is a
+    tolerance bug waiting to happen.
+``mutable-default-argument``
+    No mutable default arguments (shared-state aliasing across calls).
+"""
+
+from repro.lint.engine import (
+    RULES,
+    LintViolation,
+    SourceModule,
+    load_repo_modules,
+    run_lint,
+)
+
+__all__ = [
+    "RULES",
+    "LintViolation",
+    "SourceModule",
+    "load_repo_modules",
+    "run_lint",
+]

@@ -1,0 +1,147 @@
+"""Cache-key completeness rule.
+
+PR 2's bit-identity guarantee rests on one claim: the analysis-cache
+digest (:func:`repro.analysis.cache._task_signature` plus the budgets
+the caller supplies) captures *every* semantic input of the MILP
+formulation. Nothing structural enforces that — someone adding, say, a
+``preemption_cost`` field to :class:`~repro.model.task.Task` and
+reading it in the formulation would silently make two different MILPs
+share a cache entry.
+
+This rule closes the loop statically: every ``Task`` attribute read by
+the formulation layer must either appear in ``_task_signature`` or be
+on the documented exemption list below. Both sides are read from the
+AST, so deleting a field from the digest (or reading a new one in the
+formulation) fails the lint immediately.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Mapping
+
+from repro.lint.engine import LintViolation, SourceModule
+
+#: Module holding the digest and the function that signs one task.
+CACHE_MODULE = "repro.analysis.cache"
+SIGNATURE_FUNCTION = "_task_signature"
+
+#: Modules whose Task-attribute reads define the MILP's semantic inputs.
+FORMULATION_MODULES = (
+    "repro.analysis.proposed.formulation",
+    "repro.analysis.proposed.intervals",
+)
+
+#: Module defining the Task dataclass whose fields we track.
+TASK_MODULE = "repro.model.task"
+
+#: Task attributes that may be read by the formulation without
+#: appearing in ``_task_signature`` — each covered by the key through
+#: another channel, or provably non-semantic. Grow this list only with
+#: a written justification; an empty reason fails closed.
+EXEMPT_TASK_ATTRS: dict[str, str] = {
+    "name": "labels variables only; the cache is content-addressed",
+    "priority": "enters the key as each task's hp/lp side flag",
+    "eta": "arrival curves enter the key via the integer budgets",
+    "arrivals": "arrival curves enter the key via the integer budgets",
+    "period": "arrival curves enter the key via the integer budgets",
+    "deadline": "gates verdicts outside the MILP; never shapes the model",
+    "footprint": "partitioning-time data; never read by the formulation",
+    "total_cost": "derived from (l, C, u), all of which are digested",
+    "utilization": "derived from exec_time and period",
+    "total_utilization": "derived from digested fields and period",
+    "trivially_unschedulable": "verdict shortcut; never shapes the model",
+}
+
+
+def task_attribute_names(task_module: SourceModule) -> set[str]:
+    """Field, property, and method names of the Task class."""
+    names: set[str] = set()
+    for node in ast.walk(task_module.tree):
+        if isinstance(node, ast.ClassDef) and node.name == "Task":
+            for item in node.body:
+                if isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    names.add(item.target.id)
+                elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if not item.name.startswith("__"):
+                        names.add(item.name)
+    return names
+
+
+def signature_attributes(cache_module: SourceModule) -> set[str]:
+    """Task attributes the digest's ``_task_signature`` reads."""
+    for node in ast.walk(cache_module.tree):
+        if (
+            isinstance(node, ast.FunctionDef)
+            and node.name == SIGNATURE_FUNCTION
+        ):
+            if not node.args.args:
+                return set()
+            param = node.args.args[0].arg
+            return {
+                sub.attr
+                for sub in ast.walk(node)
+                if isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == param
+            }
+    return set()
+
+
+def cache_key_completeness_rule(
+    modules: Mapping[str, SourceModule],
+) -> list[LintViolation]:
+    """Uncovered Task-attribute reads in the formulation layer."""
+    required = (CACHE_MODULE, TASK_MODULE, *FORMULATION_MODULES)
+    missing = [name for name in required if name not in modules]
+    if missing:
+        return [LintViolation(
+            rule="cache-key-completeness",
+            path="<module set>",
+            line=0,
+            message=f"cannot check: module(s) {missing} not in the lint set",
+        )]
+
+    fields = task_attribute_names(modules[TASK_MODULE])
+    covered = signature_attributes(modules[CACHE_MODULE])
+    if not covered:
+        return [LintViolation(
+            rule="cache-key-completeness",
+            path=modules[CACHE_MODULE].path,
+            line=1,
+            message=(
+                f"{SIGNATURE_FUNCTION} not found or digests no Task "
+                "attribute: the cache key cannot be complete"
+            ),
+        )]
+
+    violations: list[LintViolation] = []
+    for module_name in FORMULATION_MODULES:
+        module = modules[module_name]
+        flagged: set[tuple[int, str]] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            attr = node.attr
+            if attr not in fields or attr in covered:
+                continue
+            if EXEMPT_TASK_ATTRS.get(attr):
+                continue
+            if (node.lineno, attr) in flagged:
+                continue
+            flagged.add((node.lineno, attr))
+            violations.append(LintViolation(
+                rule="cache-key-completeness",
+                path=module.path,
+                line=node.lineno,
+                message=(
+                    f"Task attribute {attr!r} is read by the formulation "
+                    f"but missing from {SIGNATURE_FUNCTION} in "
+                    f"{CACHE_MODULE}; two semantically different MILPs "
+                    "could share a cache entry. Digest it or add a "
+                    "justified exemption."
+                ),
+            ))
+    return violations

@@ -1,0 +1,114 @@
+"""Rule registry and module discovery for the invariant linter.
+
+The engine parses every module under ``src/repro`` once into a
+``{dotted-name: SourceModule}`` mapping and hands the whole mapping to
+each rule. Per-module rules scan each tree independently; project
+rules (cache-key completeness, worker determinism) correlate several
+modules — which is exactly what off-the-shelf linters cannot do.
+Rules take the mapping rather than the filesystem so tests can lint
+tampered sources (e.g. a digest with a field deliberately removed).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One broken invariant at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class SourceModule:
+    """One parsed source file, addressed by its dotted module name."""
+
+    name: str
+    path: str
+    tree: ast.Module
+
+    @staticmethod
+    def parse(name: str, path: str, source: str) -> "SourceModule":
+        return SourceModule(
+            name=name, path=path, tree=ast.parse(source, filename=path)
+        )
+
+
+Rule = Callable[[Mapping[str, SourceModule]], list[LintViolation]]
+
+
+def load_repo_modules(
+    package_root: Path | None = None,
+) -> dict[str, SourceModule]:
+    """Parse every module of the installed ``repro`` package.
+
+    Args:
+        package_root: Directory of the ``repro`` package; defaults to
+            the package this linter is part of, so ``repro lint``
+            always checks the code it runs from.
+    """
+    if package_root is None:
+        package_root = Path(__file__).resolve().parents[1]
+    modules: dict[str, SourceModule] = {}
+    for path in sorted(package_root.rglob("*.py")):
+        relative = path.relative_to(package_root.parent)
+        parts = list(relative.with_suffix("").parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        name = ".".join(parts)
+        modules[name] = SourceModule.parse(name, str(path), path.read_text())
+    return modules
+
+
+def _registry() -> dict[str, Rule]:
+    from repro.lint.cache_key import cache_key_completeness_rule
+    from repro.lint.determinism import worker_determinism_rule
+    from repro.lint.rules import (
+        float_time_equality_rule,
+        mutable_default_rule,
+    )
+
+    return {
+        "cache-key-completeness": cache_key_completeness_rule,
+        "worker-determinism": worker_determinism_rule,
+        "float-time-equality": float_time_equality_rule,
+        "mutable-default-argument": mutable_default_rule,
+    }
+
+
+#: Name -> rule mapping; ``run_lint(rules=...)`` selects a subset.
+RULES: dict[str, Rule] = _registry()
+
+
+def run_lint(
+    modules: Mapping[str, SourceModule] | None = None,
+    rules: Iterable[str] | None = None,
+) -> list[LintViolation]:
+    """Run the selected rules (all by default) over the module set.
+
+    Returns the violations sorted by path and line; an empty list means
+    every checked invariant holds.
+    """
+    if modules is None:
+        modules = load_repo_modules()
+    selected = list(rules) if rules is not None else sorted(RULES)
+    unknown = [name for name in selected if name not in RULES]
+    if unknown:
+        raise ValueError(
+            f"unknown lint rule(s) {unknown}; known: {sorted(RULES)}"
+        )
+    violations: list[LintViolation] = []
+    for name in selected:
+        violations.extend(RULES[name](modules))
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))

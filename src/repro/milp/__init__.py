@@ -9,6 +9,7 @@ relaxations (:class:`BranchBoundBackend`) used to cross-validate HiGHS
 on small instances.
 """
 
+from repro.milp.audit import AuditIssue, AuditReport, audit_model
 from repro.milp.expr import Constraint, LinExpr, Var
 from repro.milp.model import MilpModel
 from repro.milp.solution import DegradationLevel, MilpSolution, SolveStatus
@@ -18,6 +19,9 @@ from repro.milp.relaxation import LpRelaxationBackend
 from repro.milp.resilient import ResilienceConfig, ResilientBackend
 
 __all__ = [
+    "AuditIssue",
+    "AuditReport",
+    "audit_model",
     "DegradationLevel",
     "ResilienceConfig",
     "ResilientBackend",

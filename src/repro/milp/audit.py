@@ -1,0 +1,394 @@
+"""Static soundness auditor for MILP models (pre-solve gate).
+
+The delay bound of Theorem 1 is only as trustworthy as the model handed
+to the solver: a missing interference row, an inverted bound, or a
+runaway big-M silently turns "safe upper bound" into garbage that still
+*looks* like a number. This module checks model structure mechanically,
+before any solve:
+
+* **Structural audit** (:func:`audit_model`) — defects any MILP can
+  have: inverted/NaN variable bounds, non-finite coefficients, free
+  variables that make the objective unbounded, vacuous or trivially
+  infeasible empty rows, duplicate rows, coefficient-conditioning
+  hazards (big-M magnitude ratios), and unused variables.
+* **Constraint-family census** (:func:`audit_delay_milp`) — specific to
+  the Theorem 1 / Corollary 1 formulation: recounts, from the paper's
+  sparsity rules (Constraints 3/4/14) and ``N_i(t)`` alone, how many
+  rows each constraint family (C5..C13b, the cancellation budget) must
+  contribute, and compares against the rows actually present in the
+  built model. The recount is an independent implementation — it never
+  touches :mod:`repro.analysis.proposed.formulation`'s variable tables
+  — so builder drift and census drift cannot cancel out.
+
+Wiring: ``MilpModel.solve(..., audit=True)`` (or the class-wide
+``MilpModel.audit_before_solve`` toggle) runs the structural audit as a
+pre-solve gate; ``repro audit <taskset>`` runs the full audit including
+the census; the formulation tests audit every model they build through
+an autouse fixture.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.milp.model import MilpModel
+
+if TYPE_CHECKING:  # circular at runtime: formulation builds on milp
+    from repro.analysis.proposed.formulation import DelayMilp
+    from repro.model.task import Task
+    from repro.model.taskset import TaskSet
+
+ERROR = "error"
+WARNING = "warning"
+
+#: Largest-to-smallest nonzero |coefficient| ratio within one row above
+#: which LP pivoting may lose the small coefficient to rounding.
+CONDITIONING_RATIO = 1e8
+
+#: Absolute coefficient magnitude above which any big-M is suspect
+#: (the formulation's big-Ms are bounded by task phase durations).
+BIG_M_CEILING = 1e9
+
+
+@dataclass(frozen=True)
+class AuditIssue:
+    """One defect found by the auditor.
+
+    Attributes:
+        severity: ``"error"`` (solving would be unsound or undefined)
+            or ``"warning"`` (suspicious but not provably wrong).
+        code: Stable machine-readable defect class.
+        message: Human-readable description.
+        rows: Names of the constraint rows involved, when applicable.
+    """
+
+    severity: str
+    code: str
+    message: str
+    rows: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        where = f" [{', '.join(self.rows)}]" if self.rows else ""
+        return f"{self.severity}: {self.code}: {self.message}{where}"
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """The auditor's verdict on one model."""
+
+    model_name: str
+    issues: tuple[AuditIssue, ...]
+    census: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> tuple[AuditIssue, ...]:
+        return tuple(i for i in self.issues if i.severity == ERROR)
+
+    @property
+    def warnings(self) -> tuple[AuditIssue, ...]:
+        return tuple(i for i in self.issues if i.severity == WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the model is safe to hand to a solver."""
+        return not self.errors
+
+    def render(self) -> str:
+        lines = [
+            f"audit of {self.model_name!r}: "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        ]
+        lines.extend("  " + issue.render() for issue in self.issues)
+        if self.census:
+            families = ", ".join(
+                f"{fam}={count}" for fam, count in sorted(self.census.items())
+            )
+            lines.append(f"  constraint families: {families}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# structural audit
+# ----------------------------------------------------------------------
+def _nonzero_terms(constraint) -> dict:
+    return {v: c for v, c in constraint.expr.terms.items() if c != 0.0}
+
+
+def audit_model(model: MilpModel) -> AuditReport:
+    """Report the structural defects of a model, without solving it."""
+    issues: list[AuditIssue] = []
+    constrained: set[int] = set()
+    row_keys: dict[tuple, list[str]] = {}
+
+    for var in model.variables:
+        if math.isnan(var.lower) or math.isnan(var.upper):
+            issues.append(AuditIssue(
+                ERROR, "nan-bound",
+                f"variable {var.name!r} has a NaN bound "
+                f"[{var.lower}, {var.upper}]",
+            ))
+        elif var.lower > var.upper:
+            issues.append(AuditIssue(
+                ERROR, "inverted-bounds",
+                f"variable {var.name!r} has lower {var.lower} > upper "
+                f"{var.upper}: every model containing it is infeasible",
+            ))
+
+    for con in model.constraints:
+        terms = _nonzero_terms(con)
+        for var, coef in con.expr.terms.items():
+            if not math.isfinite(coef):
+                issues.append(AuditIssue(
+                    ERROR, "non-finite-coefficient",
+                    f"coefficient {coef!r} on {var.name!r}",
+                    rows=(con.name,),
+                ))
+        if not math.isfinite(con.expr.constant):
+            issues.append(AuditIssue(
+                ERROR, "non-finite-constant",
+                f"constraint constant is {con.expr.constant!r}",
+                rows=(con.name,),
+            ))
+        elif not terms:
+            # `constant (sense) 0` with no variables: either vacuous or
+            # a contradiction baked into the model. Zero-coefficient
+            # variables may still sit in the expression; bind them so
+            # evaluation cannot KeyError.
+            zeros = {v: 0.0 for v in con.expr.terms}
+            if con.satisfied(zeros):
+                issues.append(AuditIssue(
+                    WARNING, "vacuous-constraint",
+                    "no nonzero coefficients; the row constrains nothing",
+                    rows=(con.name,),
+                ))
+            else:
+                issues.append(AuditIssue(
+                    ERROR, "trivially-infeasible",
+                    f"no nonzero coefficients but requires "
+                    f"{con.expr.constant:g} {con.sense} 0",
+                    rows=(con.name,),
+                ))
+        else:
+            constrained.update(v.index for v in terms)
+            magnitudes = [abs(c) for c in terms.values()]
+            largest, smallest = max(magnitudes), min(magnitudes)
+            if largest > BIG_M_CEILING:
+                issues.append(AuditIssue(
+                    WARNING, "big-m-magnitude",
+                    f"coefficient magnitude {largest:g} exceeds "
+                    f"{BIG_M_CEILING:g}; solver feasibility tolerances "
+                    "make such big-Ms leaky",
+                    rows=(con.name,),
+                ))
+            elif largest / smallest > CONDITIONING_RATIO:
+                issues.append(AuditIssue(
+                    WARNING, "ill-conditioned-row",
+                    f"coefficient ratio {largest:g}/{smallest:g} exceeds "
+                    f"{CONDITIONING_RATIO:g}",
+                    rows=(con.name,),
+                ))
+            key = (
+                con.sense,
+                con.expr.constant,
+                tuple(sorted((v.index, c) for v, c in terms.items())),
+            )
+            row_keys.setdefault(key, []).append(con.name)
+
+    for names in row_keys.values():
+        if len(names) > 1:
+            issues.append(AuditIssue(
+                WARNING, "duplicate-row",
+                "identical coefficient rows (one is redundant, or a "
+                "family was built twice)",
+                rows=tuple(names),
+            ))
+
+    objective = model.objective
+    for var, coef in objective.terms.items():
+        if not math.isfinite(coef):
+            issues.append(AuditIssue(
+                ERROR, "non-finite-coefficient",
+                f"objective coefficient {coef!r} on {var.name!r}",
+            ))
+    if not math.isfinite(objective.constant):
+        issues.append(AuditIssue(
+            ERROR, "non-finite-constant",
+            f"objective constant is {objective.constant!r}",
+        ))
+
+    sign = 1.0 if model.is_maximization else -1.0
+    for var, coef in objective.terms.items():
+        if coef == 0.0 or var.index in constrained:
+            continue
+        improving_bound = var.upper if sign * coef > 0 else var.lower
+        if math.isinf(improving_bound):
+            issues.append(AuditIssue(
+                ERROR, "unbounded-objective",
+                f"variable {var.name!r} improves the objective, has an "
+                "infinite bound in the improving direction, and appears "
+                "in no constraint: the optimum is unbounded",
+            ))
+        else:
+            issues.append(AuditIssue(
+                WARNING, "unconstrained-objective-var",
+                f"objective variable {var.name!r} appears in no "
+                "constraint; only its bounds cap it",
+            ))
+
+    for var in model.variables:
+        if var.index not in constrained and var not in objective.terms:
+            issues.append(AuditIssue(
+                WARNING, "unused-variable",
+                f"variable {var.name!r} appears in no constraint and "
+                "not in the objective",
+            ))
+
+    return AuditReport(
+        model_name=model.name,
+        issues=tuple(issues),
+        census=constraint_census(model),
+    )
+
+
+def constraint_census(model: MilpModel) -> dict[str, int]:
+    """Count constraints per family (the name prefix before ``[``)."""
+    census: Counter[str] = Counter()
+    for con in model.constraints:
+        family = con.name.split("[", 1)[0] if con.name else "<unnamed>"
+        census[family] += 1
+    return dict(census)
+
+
+# ----------------------------------------------------------------------
+# constraint-family census for the Theorem 1 / Corollary 1 formulation
+# ----------------------------------------------------------------------
+def expected_delay_census(
+    taskset: "TaskSet", task: "Task", mode, num_intervals: int
+) -> dict[str, int]:
+    """Expected per-family row counts of one delay MILP.
+
+    Recomputed from the paper's sparsity rules alone, as a function of
+    ``N_i(t)`` and the higher/lower-priority split — deliberately *not*
+    by querying the builder's variable tables, so a builder bug cannot
+    hide from the census it is checked against:
+
+    * executions ``E^k_j`` live in ``I_0..I_{N-2}``; lower-priority
+      ones only in the first two intervals (Constraint 3), or only
+      ``I_0`` under LS case (a) (Constraint 14);
+    * urgent executions ``LE^k_j`` exist exactly where an LS task has
+      an ``E`` variable (and never in WASLY mode);
+    * cancelled copy-ins ``CL^k_j`` exist in ``I_0..I_{N-3}`` where a
+      higher-priority LS release can cancel the victim (Constraint 10's
+      sum over Gamma), lower-priority victims only in ``I_0``.
+
+    Families with an expected count of zero are omitted.
+    """
+    from repro.analysis.proposed.formulation import AnalysisMode
+
+    n = num_intervals
+    others = [j for j in taskset if j.name != task.name]
+
+    if mode is AnalysisMode.LS_CASE_B:
+        expected = {"C9": 1, "C11": 1, "C13a": 2, "C13b": 2}
+        if others:
+            expected["C5"] = 1
+        return expected
+
+    lp_names = {j.name for j in taskset.lp(task)}
+    machinery = mode is not AnalysisMode.WASLY
+    span = 1 if mode is AnalysisMode.LS_CASE_A else 2
+
+    e_cells: set[tuple[int, str]] = set()
+    le_cells: set[tuple[int, str]] = set()
+    cl_cells: set[tuple[int, str]] = set()
+    for j in others:
+        limit = min(span, n - 1) if j.name in lp_names else n - 1
+        for k in range(limit):
+            e_cells.add((k, j.name))
+            if machinery and j.latency_sensitive:
+                le_cells.add((k, j.name))
+
+    def has_canceller(victim: "Task") -> bool:
+        if not machinery:
+            return False
+        if any(
+            s.latency_sensitive
+            and s.priority < victim.priority
+            and s.name not in (task.name, victim.name)
+            for s in taskset
+        ):
+            return True
+        return (
+            mode is AnalysisMode.LS_CASE_A
+            and task.priority < victim.priority
+        )
+
+    for j in taskset:
+        if not has_canceller(j):
+            continue
+        victim_span = 1 if j.name in lp_names else n - 2
+        for k in range(min(victim_span, n - 2)):
+            cl_cells.add((k, j.name))
+
+    def row_nonempty(cells: set[tuple[int, str]], k: int) -> bool:
+        return any(kk == k for kk, _ in cells)
+
+    expected = {
+        "C5": sum(
+            1
+            for k in range(n - 1)
+            if row_nonempty(e_cells, k) or row_nonempty(le_cells, k)
+        ),
+        "C6": sum(
+            1
+            for k in range(n - 2)
+            if row_nonempty(e_cells, k + 1) or row_nonempty(cl_cells, k)
+        ),
+        "C7": sum(
+            1
+            for j in others
+            if any(name == j.name for _, name in e_cells | le_cells)
+        ),
+        "C8": sum(
+            1
+            for j in others
+            if machinery and j.latency_sensitive
+            for k in range(n - 2)
+            if (k + 1, j.name) in le_cells
+        ),
+        "CLbudget": 1 if cl_cells else 0,
+        "C9": n - 1,
+        "C10": n - 2,
+        "C11": n - 1,
+        "C13a": n,
+        "C13b": n,
+    }
+    return {fam: count for fam, count in expected.items() if count}
+
+
+def audit_delay_milp(
+    built: "DelayMilp", taskset: "TaskSet", task: "Task"
+) -> AuditReport:
+    """Full audit of one built delay MILP: structure plus census."""
+    report = audit_model(built.model)
+    issues = list(report.issues)
+    expected = expected_delay_census(
+        taskset, task, built.mode, built.num_intervals
+    )
+    actual = report.census
+    for family in sorted(set(expected) | set(actual)):
+        want, have = expected.get(family, 0), actual.get(family, 0)
+        if want != have:
+            issues.append(AuditIssue(
+                ERROR, "census-mismatch",
+                f"constraint family {family}: expected {want} row(s) for "
+                f"N={built.num_intervals} ({built.mode.value}), found {have}",
+            ))
+    return AuditReport(
+        model_name=report.model_name,
+        issues=tuple(issues),
+        census=actual,
+    )

@@ -9,8 +9,9 @@ objective.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import ClassVar, Iterable, Sequence
 
 import numpy as np
 
@@ -44,6 +45,11 @@ class CompiledMilp:
 
 class MilpModel:
     """A mixed-integer linear program under construction."""
+
+    #: Class-wide default for the pre-solve audit gate of :meth:`solve`
+    #: (overridable per call). Off by default; the formulation tests and
+    #: belt-and-braces deployments flip it on.
+    audit_before_solve: ClassVar[bool] = False
 
     def __init__(self, name: str = "milp") -> None:
         self.name = name
@@ -104,11 +110,19 @@ class MilpModel:
                 )
         if name:
             constraint.named(name)
+        elif not constraint.name:
+            # Auto-number unnamed rows so audit reports and violation
+            # listings can reference every constraint.
+            constraint.named(f"r{len(self._constraints)}")
         self._constraints.append(constraint)
         return constraint
 
     def add_all(self, constraints: Iterable[Constraint], prefix: str = "") -> None:
-        """Add several constraints, numbering them under ``prefix``."""
+        """Add several constraints, numbering them under ``prefix``.
+
+        With an empty prefix the rows fall back to the model-wide
+        ``r<index>`` auto-numbering instead of staying anonymous.
+        """
         for i, con in enumerate(constraints):
             self.add(con, f"{prefix}[{i}]" if prefix else "")
 
@@ -140,15 +154,38 @@ class MilpModel:
             raise SolverError("model has no variables")
         c = np.zeros(n)
         for var, coef in self._objective.terms.items():
+            if not math.isfinite(coef):
+                raise SolverError(
+                    f"{self.name}: objective coefficient for {var.name!r} "
+                    f"is {coef!r}; NaN/inf coefficients are rejected before "
+                    "they can silently corrupt the solve"
+                )
             c[var.index] = coef
+        if not math.isfinite(self._objective.constant):
+            raise SolverError(
+                f"{self.name}: objective constant is "
+                f"{self._objective.constant!r}"
+            )
         if not self._sense_max:
             c = -c
         rows = np.zeros((len(self._constraints), n))
         row_lower = np.empty(len(self._constraints))
         row_upper = np.empty(len(self._constraints))
         for r, con in enumerate(self._constraints):
+            label = con.name or f"r{r}"
             for var, coef in con.expr.terms.items():
+                if not math.isfinite(coef):
+                    raise SolverError(
+                        f"{self.name}: constraint {label!r} has coefficient "
+                        f"{coef!r} on {var.name!r}; NaN/inf coefficients are "
+                        "rejected before they reach the backend"
+                    )
                 rows[r, var.index] = coef
+            if not math.isfinite(con.expr.constant):
+                raise SolverError(
+                    f"{self.name}: constraint {label!r} has a non-finite "
+                    f"constant {con.expr.constant!r}"
+                )
             row_lower[r], row_upper[r] = con.bounds()
         return CompiledMilp(
             objective=c,
@@ -168,8 +205,31 @@ class MilpModel:
             variables=tuple(self._vars),
         )
 
-    def solve(self, backend: "MilpBackend | None" = None) -> MilpSolution:
-        """Solve with the given backend (HiGHS by default)."""
+    def solve(
+        self,
+        backend: "MilpBackend | None" = None,
+        audit: bool | None = None,
+    ) -> MilpSolution:
+        """Solve with the given backend (HiGHS by default).
+
+        Args:
+            backend: Solver backend; HiGHS when omitted.
+            audit: Run the structural pre-solve audit
+                (:func:`repro.milp.audit.audit_model`) and raise
+                :class:`SolverError` if it reports any error-severity
+                defect. ``None`` defers to the class-wide opt-in
+                ``MilpModel.audit_before_solve``.
+        """
+        if audit is None:
+            audit = MilpModel.audit_before_solve
+        if audit:
+            from repro.milp.audit import audit_model
+
+            report = audit_model(self)
+            if not report.ok:
+                raise SolverError(
+                    "pre-solve audit failed:\n" + report.render()
+                )
         if backend is None:
             from repro.milp.highs import HighsBackend
 

@@ -1,7 +1,10 @@
 """Unit tests for the delay-MILP constraint builder."""
 
+import sys
+
 import pytest
 
+import repro.analysis.proposed.formulation as _formulation
 from repro.analysis.proposed.closed_form import ls_case_b_bound
 from repro.analysis.proposed.formulation import (
     AnalysisMode,
@@ -9,7 +12,30 @@ from repro.analysis.proposed.formulation import (
 )
 from repro.errors import AnalysisError
 from repro.milp import HighsBackend, SolveStatus
+from repro.milp.audit import audit_delay_milp
 from repro.model.taskset import TaskSet
+
+
+@pytest.fixture(autouse=True)
+def _audit_every_model(monkeypatch):
+    """Audit every model this module builds, structure and census.
+
+    Wraps ``build_delay_milp`` so each successful build is run through
+    :func:`repro.milp.audit.audit_delay_milp` before the test sees it —
+    any structural defect or census drift fails the building test with
+    the full audit report.
+    """
+    real = _formulation.build_delay_milp
+
+    def audited(taskset, task, *args, **kwargs):
+        built = real(taskset, task, *args, **kwargs)
+        report = audit_delay_milp(built, taskset, task)
+        assert report.ok, report.render()
+        return built
+
+    monkeypatch.setattr(_formulation, "build_delay_milp", audited)
+    # The module-level name imported above must be wrapped too.
+    monkeypatch.setattr(sys.modules[__name__], "build_delay_milp", audited)
 
 
 @pytest.fixture

@@ -1,0 +1,344 @@
+"""Tests for the MILP model auditor (structure + constraint census)."""
+
+import math
+
+import pytest
+
+from repro.analysis.proposed.formulation import AnalysisMode, build_delay_milp
+from repro.errors import SolverError
+from repro.milp import HighsBackend, SolveStatus, audit_model
+from repro.milp.audit import audit_delay_milp, constraint_census
+from repro.milp.expr import Constraint, LinExpr
+from repro.milp.model import MilpModel
+from repro.model.taskset import TaskSet
+
+
+@pytest.fixture
+def mixed_ts():
+    ts = TaskSet.from_parameters(
+        [
+            ("a", 1.0, 0.2, 0.2, 10.0, 8.0),
+            ("b", 2.0, 0.3, 0.3, 20.0, 15.0),
+            ("c", 3.0, 0.4, 0.4, 40.0, 30.0),
+            ("d", 4.0, 0.5, 0.5, 80.0, 60.0),
+        ]
+    )
+    return ts.with_ls_marks(["a", "c"])
+
+
+def _codes(report, severity=None):
+    return [
+        i.code
+        for i in report.issues
+        if severity is None or i.severity == severity
+    ]
+
+
+class TestStructuralAudit:
+    def test_clean_model_is_ok(self):
+        m = MilpModel("clean")
+        x = m.var("x", 0, 5)
+        m.add(x <= 3, "cap")
+        m.maximize(x)
+        report = audit_model(m)
+        assert report.ok
+        assert report.issues == ()
+
+    def test_nan_bound(self):
+        m = MilpModel()
+        x = m.var("x")
+        x.upper = float("nan")  # bypass the constructor guard
+        report = audit_model(m)
+        assert "nan-bound" in _codes(report, "error")
+
+    def test_inverted_bounds(self):
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        m.add(x <= 3)
+        x.lower = 10.0  # corrupt after registration
+        report = audit_model(m)
+        assert "inverted-bounds" in _codes(report, "error")
+        assert not report.ok
+
+    def test_non_finite_coefficient(self):
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        m.add(float("inf") * x <= 1)
+        assert "non-finite-coefficient" in _codes(audit_model(m), "error")
+
+    def test_vacuous_zero_coefficient_row(self):
+        # 0*x <= 1 keeps x in the expression with coefficient 0; the
+        # auditor must classify the row as vacuous, not crash on it.
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        m.add(0 * x <= 1)
+        report = audit_model(m)
+        assert "vacuous-constraint" in _codes(report, "warning")
+        assert report.ok  # warnings do not block solving
+
+    def test_trivially_infeasible_empty_row(self):
+        m = MilpModel()
+        m.var("x", 0, 5)
+        m.add(Constraint(LinExpr({}, 1.0), "<="), "absurd")  # 1 <= 0
+        report = audit_model(m)
+        assert "trivially-infeasible" in _codes(report, "error")
+
+    def test_duplicate_rows(self):
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        y = m.var("y", 0, 5)
+        m.add(x + 2 * y <= 3, "first")
+        m.add(x + 2 * y <= 3, "second")
+        report = audit_model(m)
+        dupes = [i for i in report.issues if i.code == "duplicate-row"]
+        assert len(dupes) == 1
+        assert set(dupes[0].rows) == {"first", "second"}
+
+    def test_permuted_duplicate_detected(self):
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        y = m.var("y", 0, 5)
+        m.add(x + 2 * y <= 3, "ab")
+        m.add(2 * y + x <= 3, "ba")  # same row, different term order
+        assert "duplicate-row" in _codes(audit_model(m), "warning")
+
+    def test_big_m_magnitude(self):
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        m.add(1e10 * x <= 1)
+        assert "big-m-magnitude" in _codes(audit_model(m), "warning")
+
+    def test_ill_conditioned_row(self):
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        y = m.var("y", 0, 5)
+        m.add(x + 1e-9 * y <= 1)
+        assert "ill-conditioned-row" in _codes(audit_model(m), "warning")
+
+    def test_unbounded_objective(self):
+        m = MilpModel()
+        x = m.var("x")  # upper defaults to +inf
+        m.maximize(x)
+        report = audit_model(m)
+        assert "unbounded-objective" in _codes(report, "error")
+        assert not report.ok
+
+    def test_bounded_unconstrained_objective_var_warns(self):
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        m.maximize(x)
+        report = audit_model(m)
+        assert "unconstrained-objective-var" in _codes(report, "warning")
+        assert report.ok
+
+    def test_minimization_direction(self):
+        # For a minimisation, the improving direction is the lower
+        # bound; lower=-inf with no constraints is unbounded.
+        m = MilpModel()
+        x = m.var("x", -math.inf, 5.0)
+        m.minimize(x)
+        assert "unbounded-objective" in _codes(audit_model(m), "error")
+
+    def test_unused_variable(self):
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        m.var("dead", 0, 1)
+        m.add(x <= 3)
+        m.maximize(x)
+        report = audit_model(m)
+        unused = [i for i in report.issues if i.code == "unused-variable"]
+        assert len(unused) == 1
+        assert "dead" in unused[0].message
+
+    def test_census_by_name_prefix(self):
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        m.add_all([x <= 1, x <= 2], prefix="cap")
+        m.add(x >= 0, "floor")
+        assert constraint_census(m) == {"cap": 2, "floor": 1}
+
+    def test_render_mentions_counts(self):
+        m = MilpModel("demo")
+        x = m.var("x", 0, 5)
+        m.add(x <= 3)
+        m.maximize(x)
+        text = audit_model(m).render()
+        assert "0 error(s)" in text
+        assert "demo" in text
+
+
+class TestPreSolveGate:
+    def test_gate_blocks_defective_model(self):
+        m = MilpModel("bad")
+        x = m.var("x", 0, 5)
+        m.add(x <= 3)
+        m.maximize(x)
+        x.lower = 10.0
+        with pytest.raises(SolverError, match="pre-solve audit failed"):
+            m.solve(HighsBackend(), audit=True)
+
+    def test_gate_passes_clean_model(self):
+        m = MilpModel("good")
+        x = m.var("x", 0, 5)
+        m.add(x <= 3)
+        m.maximize(x)
+        sol = m.solve(HighsBackend(), audit=True)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_class_wide_toggle(self, monkeypatch):
+        m = MilpModel("bad")
+        x = m.var("x", 0, 5)
+        m.add(x <= 3)
+        m.maximize(x)
+        x.lower = 10.0
+        monkeypatch.setattr(MilpModel, "audit_before_solve", True)
+        with pytest.raises(SolverError, match="pre-solve audit failed"):
+            m.solve(HighsBackend())
+
+    def test_explicit_false_overrides_toggle(self, monkeypatch):
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        m.add(x <= 3)
+        m.maximize(x)
+        monkeypatch.setattr(MilpModel, "audit_before_solve", True)
+        sol = m.solve(HighsBackend(), audit=False)
+        assert sol.status is SolveStatus.OPTIMAL
+
+
+class TestDelayCensus:
+    """Acceptance pin: known-good Theorem 1 builds pass the census."""
+
+    @pytest.mark.parametrize(
+        "name, window, mode",
+        [
+            ("b", 10.0, AnalysisMode.NLS),
+            ("d", 25.0, AnalysisMode.NLS),
+            ("b", 10.0, AnalysisMode.WASLY),
+            ("c", 10.0, AnalysisMode.WASLY),
+            ("a", 8.0, AnalysisMode.LS_CASE_A),
+            ("c", 12.0, AnalysisMode.LS_CASE_A),
+            ("a", 0.0, AnalysisMode.LS_CASE_B),
+            ("c", 0.0, AnalysisMode.LS_CASE_B),
+        ],
+    )
+    def test_known_good_models_pass(self, mixed_ts, name, window, mode):
+        task = mixed_ts.by_name(name)
+        built = build_delay_milp(mixed_ts, task, window, mode)
+        report = audit_delay_milp(built, mixed_ts, task)
+        assert report.ok, report.render()
+        assert "census-mismatch" not in _codes(report)
+
+    def test_no_ls_plain_set_passes(self):
+        plain = TaskSet.from_parameters(
+            [
+                ("x", 1.0, 0.1, 0.1, 10.0, 9.0),
+                ("y", 2.0, 0.2, 0.2, 20.0, 18.0),
+            ]
+        )
+        task = plain.by_name("x")
+        built = build_delay_milp(plain, task, 5.0, AnalysisMode.NLS)
+        report = audit_delay_milp(built, plain, task)
+        assert report.ok, report.render()
+
+    def test_missing_interference_row_caught(self, mixed_ts):
+        # Acceptance pin: delete one C7 interference-budget row from an
+        # otherwise sound model; the census must notice the shortfall.
+        task = mixed_ts.by_name("b")
+        built = build_delay_milp(mixed_ts, task, 10.0, AnalysisMode.NLS)
+        rows = built.model._constraints
+        idx = next(
+            i for i, con in enumerate(rows) if con.name.startswith("C7[")
+        )
+        rows.pop(idx)
+        report = audit_delay_milp(built, mixed_ts, task)
+        assert not report.ok
+        mismatches = [i for i in report.errors if i.code == "census-mismatch"]
+        assert any("C7" in i.message for i in mismatches)
+
+    def test_extra_forged_row_caught(self, mixed_ts):
+        task = mixed_ts.by_name("b")
+        built = build_delay_milp(mixed_ts, task, 10.0, AnalysisMode.NLS)
+        x = built.model.variables[0]
+        built.model.add(x <= 99, "C9[999]")  # inflate a family
+        report = audit_delay_milp(built, mixed_ts, task)
+        assert any(
+            i.code == "census-mismatch" and "C9" in i.message
+            for i in report.errors
+        )
+
+    def test_inverted_bound_in_formulation_caught(self, mixed_ts):
+        task = mixed_ts.by_name("b")
+        built = build_delay_milp(mixed_ts, task, 10.0, AnalysisMode.NLS)
+        built.model.variables[0].upper = -1.0
+        report = audit_delay_milp(built, mixed_ts, task)
+        assert "inverted-bounds" in _codes(report, "error")
+
+
+class TestCompileRejectsNonFinite:
+    def test_nan_objective_coefficient(self):
+        m = MilpModel("nanobj")
+        x = m.var("x", 0, 5)
+        m.add(x <= 3)
+        m.maximize(float("nan") * x)
+        with pytest.raises(SolverError, match="objective coefficient"):
+            m.compile()
+
+    def test_inf_constraint_coefficient_names_the_row(self):
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        m.add(float("inf") * x <= 1, "leaky")
+        with pytest.raises(SolverError, match="leaky"):
+            m.compile()
+
+    def test_nan_constraint_constant(self):
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        m.add(x <= float("nan"))
+        with pytest.raises(SolverError, match="non-finite"):
+            m.compile()
+
+    def test_finite_model_still_compiles(self):
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        m.add(x <= 3)
+        m.maximize(x)
+        assert m.compile().num_rows == 1
+
+
+class TestAutoNumbering:
+    def test_add_all_empty_prefix_auto_numbers(self):
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        m.add_all([x <= 1, x <= 2])
+        assert [c.name for c in m.constraints] == ["r0", "r1"]
+
+    def test_add_auto_numbers_unnamed(self):
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        m.add(x <= 1, "cap")
+        m.add(x <= 2)
+        assert [c.name for c in m.constraints] == ["cap", "r1"]
+
+    def test_explicit_names_untouched(self):
+        m = MilpModel()
+        x = m.var("x", 0, 5)
+        m.add_all([x <= 1, x <= 2], prefix="cap")
+        assert [c.name for c in m.constraints] == ["cap[0]", "cap[1]"]
+
+
+class TestAuditCli:
+    def test_audit_subcommand_passes_on_known_good_set(self, tmp_path, capsys):
+        from repro.cli import main
+
+        csv = tmp_path / "ts.csv"
+        csv.write_text(
+            "name,C,l,u,T,D\n"
+            "hi,1.0,0.2,0.2,10.0,8.0\n"
+            "mid,2.0,0.4,0.4,20.0,14.0\n"
+            "lo,4.0,0.8,0.8,50.0,40.0\n"
+        )
+        rc = main(["audit", str(csv), "--ls", "hi"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "constraint families" in out

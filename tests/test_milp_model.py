@@ -101,3 +101,47 @@ class TestCheckAssignment:
         x = m.var("x", 0, 10)
         m.add(x <= 3)
         assert m.check_assignment([2.0]) == []
+
+    def test_upper_violation_inside_tolerance_passes(self):
+        # Overshoot strictly below tol (default 1e-6) is accepted; the
+        # exact edge is left alone (float addition rounds across it).
+        m = MilpModel()
+        x = m.var("x", 0, 10)
+        m.add(x <= 3)
+        assert m.check_assignment([3.0 + 0.5e-6]) == []
+
+    def test_upper_violation_beyond_tolerance_fails(self):
+        m = MilpModel()
+        x = m.var("x", 0, 10)
+        m.add(x <= 3)
+        assert len(m.check_assignment([3.0 + 2e-6])) == 1
+
+    def test_lower_sense_edge(self):
+        m = MilpModel()
+        x = m.var("x", 0, 10)
+        m.add(x >= 1)
+        assert m.check_assignment([1.0 - 0.5e-6]) == []
+        assert len(m.check_assignment([1.0 - 2e-6])) == 1
+
+    def test_equality_edges_both_sides(self):
+        m = MilpModel()
+        x = m.var("x", 0, 10)
+        m.add(x == 2)
+        assert m.check_assignment([2.0 + 0.5e-6]) == []
+        assert m.check_assignment([2.0 - 0.5e-6]) == []
+        assert len(m.check_assignment([2.0 + 2e-6])) == 1
+        assert len(m.check_assignment([2.0 - 2e-6])) == 1
+
+    def test_custom_tolerance(self):
+        m = MilpModel()
+        x = m.var("x", 0, 10)
+        m.add(x <= 3)
+        assert m.check_assignment([3.05], tol=0.1) == []
+        assert len(m.check_assignment([3.05], tol=0.01)) == 1
+
+    def test_zero_tolerance_is_exact(self):
+        m = MilpModel()
+        x = m.var("x", 0, 10)
+        m.add(x <= 3)
+        assert m.check_assignment([3.0], tol=0.0) == []
+        assert len(m.check_assignment([np.nextafter(3.0, 4.0)], tol=0.0)) == 1

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Standalone entry point for the project invariant linter.
+
+Runs the same rules as ``repro lint`` without needing the package
+installed — CI and pre-commit hooks call this file directly::
+
+    python tools/lint_rules.py             # all rules
+    python tools/lint_rules.py --rule worker-determinism
+    python tools/lint_rules.py --list
+
+Exit status: 0 when every invariant holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.lint import RULES, run_lint  # noqa: E402  (path bootstrap above)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rule",
+        action="append",
+        choices=sorted(RULES),
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the known rules and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in sorted(RULES):
+            print(name)
+        return 0
+    violations = run_lint(rules=args.rule)
+    for violation in violations:
+        print(violation.render())
+    checked = ", ".join(args.rule or sorted(RULES))
+    if violations:
+        print(f"{len(violations)} invariant violation(s) [{checked}]")
+        return 1
+    print(f"all project invariants hold [{checked}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
