@@ -47,6 +47,7 @@ from typing import Iterator, Mapping
 
 from repro.model.task import Task
 from repro.model.taskset import TaskSet
+from repro.obs import events as obs
 
 #: Counter names every cache exposes (missing ones read as 0).
 COUNTER_NAMES = (
@@ -116,8 +117,14 @@ class AnalysisCache:
     # counters
     # ------------------------------------------------------------------
     def bump(self, name: str, amount: int = 1) -> None:
-        """Increment a named counter (solves, screens, hits...)."""
+        """Increment a named counter (solves, screens, hits...).
+
+        Mirrors every increment as a ``cache.<name>`` trace event, so a
+        run's trace reconciles with its surfaced ``analysis_stats`` by
+        construction: both are sums over the same ``bump`` calls.
+        """
         self._counters[name] = self._counters.get(name, 0) + amount
+        obs.emit(f"cache.{name}", amount=amount)
 
     @property
     def counters(self) -> dict[str, int]:

@@ -20,6 +20,7 @@ from repro.analysis.interface import TaskSetResult
 from repro.analysis.proposed.response_time import ProposedAnalysis
 from repro.errors import AnalysisError
 from repro.model.taskset import TaskSet
+from repro.obs import events as obs
 
 
 @dataclass(frozen=True)
@@ -74,12 +75,15 @@ def greedy_ls_assignment(
     while True:
         rounds += 1
         history.append(frozenset(ls_names))
-        if collect_results:
-            result = analysis.analyze(current)
-            miss_task = None if result.first_miss is None else result.first_miss.task
-        else:
-            result = None
-            miss_task = analysis.first_unschedulable(current)
+        with obs.span("ls.round", round=rounds, marks=len(ls_names)):
+            if collect_results:
+                result = analysis.analyze(current)
+                miss_task = (
+                    None if result.first_miss is None else result.first_miss.task
+                )
+            else:
+                result = None
+                miss_task = analysis.first_unschedulable(current)
         if miss_task is None:
             return LsAssignmentOutcome(
                 schedulable=True,
@@ -106,12 +110,13 @@ def _single_round(
     collect_results: bool,
     marks: frozenset[str],
 ) -> LsAssignmentOutcome:
-    if collect_results:
-        result = analysis.analyze(taskset_marked)
-        schedulable = result.schedulable
-    else:
-        result = None
-        schedulable = analysis.first_unschedulable(taskset_marked) is None
+    with obs.span("ls.round", round=1, marks=len(marks)):
+        if collect_results:
+            result = analysis.analyze(taskset_marked)
+            schedulable = result.schedulable
+        else:
+            result = None
+            schedulable = analysis.first_unschedulable(taskset_marked) is None
     return LsAssignmentOutcome(
         schedulable=schedulable,
         taskset=taskset_marked,

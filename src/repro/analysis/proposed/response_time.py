@@ -46,6 +46,7 @@ from repro.milp.resilient import ResilientBackend
 from repro.milp.solution import MilpSolution, SolveStatus
 from repro.model.task import Task
 from repro.model.taskset import TaskSet
+from repro.obs import events as obs
 from repro.types import Time
 
 BackendFactory = Callable[[], MilpBackend]
@@ -369,6 +370,15 @@ class ProposedAnalysis:
             try:
                 relaxed = built.model.solve(LpRelaxationBackend())
                 self.cache.bump("lp_solves")
+                obs.emit(
+                    "solve.screen",
+                    task=task.name,
+                    dur=relaxed.runtime_seconds,
+                    mode=mode.value,
+                    status=relaxed.status.value,
+                    rows=built.stats.get("constraints"),
+                    vars=built.stats.get("variables"),
+                )
             except SolverError:
                 relaxed = None  # screen only; the MILP path decides
             if relaxed is not None and relaxed.status is SolveStatus.OPTIMAL:
@@ -388,6 +398,17 @@ class ProposedAnalysis:
                     )
         solution = self._solve_model(built.model, taskset, task, mode)
         self.cache.bump("lp_solves" if self.method == "lp" else "milp_solves")
+        obs.emit(
+            "solve",
+            task=task.name,
+            dur=solution.runtime_seconds,
+            mode=mode.value,
+            method=self.method,
+            status=solution.status.value,
+            degradation=int(solution.degradation),
+            rows=built.stats.get("constraints"),
+            vars=built.stats.get("variables"),
+        )
         if solution.status is SolveStatus.INFEASIBLE:
             raise InfeasibleModelError(
                 f"delay MILP infeasible for {task.name} (mode={mode.value}, "
@@ -426,6 +447,17 @@ class ProposedAnalysis:
             built.model, taskset, task, AnalysisMode.LS_CASE_B
         )
         self.cache.bump("lp_solves" if self.method == "lp" else "milp_solves")
+        obs.emit(
+            "solve",
+            task=task.name,
+            dur=solution.runtime_seconds,
+            mode=AnalysisMode.LS_CASE_B.value,
+            method=self.method,
+            status=solution.status.value,
+            degradation=int(solution.degradation),
+            rows=built.stats.get("constraints"),
+            vars=built.stats.get("variables"),
+        )
         if solution.status is SolveStatus.INFEASIBLE:
             raise InfeasibleModelError(f"case-(b) MILP infeasible for {task.name}")
         if solution.status is SolveStatus.UNBOUNDED:
@@ -461,9 +493,15 @@ class ProposedAnalysis:
         hp_wcrt = self._hp_wcrt_map(taskset, task)
         for iterations in range(1, options.max_iterations + 1):
             window = max(response - task.exec_time - task.copy_out, task.copy_in)
-            evaluated = self._delay_objective(
-                taskset, task, window, mode, hp_wcrt
-            )
+            with obs.span(
+                "fixpoint.iteration",
+                task=task.name,
+                mode=mode.value,
+                iteration=iterations,
+            ):
+                evaluated = self._delay_objective(
+                    taskset, task, window, mode, hp_wcrt
+                )
             if evaluated.cached:
                 details["cache_hits"] += 1
             else:

@@ -11,6 +11,7 @@ Subcommands::
     repro witness     <taskset> <task>            decode the worst-case window
     repro audit       <taskset> [--task ...]      static MILP soundness audit
     repro lint        [--rule ...]                project invariant linter
+    repro profile     <trace.jsonl>               aggregate a --trace event log
 
 Task sets load from CSV (``name,C,l,u,T,D``) or lossless JSON
 (see :mod:`repro.io`).
@@ -137,7 +138,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint or None,
         resume=args.resume,
         jobs=args.jobs,
+        trace_path=args.trace or None,
     )
+    if args.trace:
+        print(f"trace written to {args.trace}")
     print()
     print(render_sweep_table(result))
     print()
@@ -148,6 +152,28 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if args.csv:
         Path(args.csv).write_text(sweep_to_csv(result))
         print(f"CSV written to {args.csv}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import aggregate_events, read_trace, reconcile, render_profile
+
+    report = aggregate_events(read_trace(args.trace))
+    print(render_profile(report, timings=not args.no_timings))
+    if args.checkpoint:
+        from repro.experiments.persistence import read_checkpoint_points
+
+        points = read_checkpoint_points(args.checkpoint)
+        problems = reconcile(report, points.values())
+        print()
+        if problems:
+            for problem in problems:
+                print(f"reconciliation MISMATCH: {problem}")
+            return 1
+        print(
+            f"trace reconciles with {args.checkpoint}: "
+            f"cache counters and failure ledger match exactly"
+        )
     return 0
 
 
@@ -367,7 +393,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep (results are bit-identical "
         "to --jobs 1)",
     )
+    p_fig.add_argument(
+        "--trace",
+        default="",
+        help="write a structured JSONL event trace of the run here "
+        "(see 'repro profile')",
+    )
     p_fig.set_defaults(func=_cmd_figure)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="aggregate a --trace event log into a per-phase report",
+    )
+    p_prof.add_argument("trace", help="JSONL trace written by --trace")
+    p_prof.add_argument(
+        "--no-timings",
+        action="store_true",
+        help="render only the deterministic sections (identical for "
+        "--jobs 1 and --jobs N runs of the same config)",
+    )
+    p_prof.add_argument(
+        "--checkpoint",
+        default="",
+        help="reconcile the trace against this run checkpoint "
+        "(exit 1 on any counter mismatch)",
+    )
+    p_prof.set_defaults(func=_cmd_profile)
 
     p_demo = sub.add_parser("demo", help="the Fig. 1 motivating example")
     p_demo.set_defaults(func=_cmd_demo)

@@ -81,3 +81,12 @@ class PartitioningError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised for invalid experiment configurations."""
+
+
+class ObservabilityError(ReproError):
+    """Raised for invalid trace events, files, or profile operations.
+
+    Covers malformed event records (schema violations), unreadable or
+    truncated JSONL trace files, and profile aggregations asked to
+    reconcile against mismatching run artifacts.
+    """

@@ -264,3 +264,29 @@ def load_checkpoint(
         int(index): _point_from_dict(point)
         for index, point in payload["points"].items()
     }
+
+
+def read_checkpoint_points(path: str | Path) -> dict[int, PointResult]:
+    """Load a checkpoint's points without knowing its configuration.
+
+    ``repro profile --checkpoint`` reconciles a trace against whatever
+    run produced the checkpoint, so unlike :func:`load_checkpoint`
+    there is no expected config to verify the digest against — version
+    and JSON validity are still enforced.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"checkpoint file not found: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"invalid checkpoint JSON in {path}: {exc}") from exc
+    if payload.get("checkpoint_version") != _CHECKPOINT_VERSION:
+        raise ExperimentError(
+            f"unsupported checkpoint version "
+            f"{payload.get('checkpoint_version')!r} in {path}"
+        )
+    return {
+        int(index): _point_from_dict(point)
+        for index, point in payload["points"].items()
+    }

@@ -8,8 +8,9 @@ eyeball the crossovers and gaps the paper describes.
 from __future__ import annotations
 
 import io
+from typing import Iterable
 
-from repro.experiments.runner import SweepResult
+from repro.experiments.runner import PointResult, SweepResult
 
 #: Plot marks per protocol, in drawing order (later overdraws earlier).
 _MARKS = {"nps": "n", "nps_carry": "n", "wasly": "w", "proposed": "P"}
@@ -28,6 +29,20 @@ def sweep_to_csv(result: SweepResult) -> str:
         row.append(f"{point.elapsed_seconds:.2f}")
         out.write(",".join(row) + "\n")
     return out.getvalue()
+
+
+def aggregate_analysis_stats(points: "Iterable[PointResult]") -> dict[str, int]:
+    """Summed per-point analysis-cache counters of a run.
+
+    The same totals a trace's ``cache.*`` events add up to (see
+    :func:`repro.obs.profile.reconcile`) — shared here so the sweep
+    table and the trace reconciliation agree on the arithmetic.
+    """
+    stats: dict[str, int] = {}
+    for point in points:
+        for name, value in point.analysis_stats.items():
+            stats[name] = stats.get(name, 0) + value
+    return stats
 
 
 def render_sweep_table(result: SweepResult) -> str:
@@ -50,10 +65,7 @@ def render_sweep_table(result: SweepResult) -> str:
             f"failures: {len(result.failures)} taskset/protocol pairs "
             "(see failure ledger)"
         )
-    stats: dict[str, int] = {}
-    for point in result.points:
-        for name, value in point.analysis_stats.items():
-            stats[name] = stats.get(name, 0) + value
+    stats = aggregate_analysis_stats(result.points)
     lookups = stats.get("hits", 0) + stats.get("misses", 0)
     if lookups:
         hit_rate = stats.get("hits", 0) / lookups

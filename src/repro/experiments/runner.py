@@ -29,8 +29,10 @@ surfaced hit/miss counters are deterministic and identical as well.
 from __future__ import annotations
 
 import enum
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, Mapping
@@ -42,6 +44,8 @@ from repro.errors import ExperimentError, ReproError
 from repro.experiments.config import ExperimentConfig, SweepPoint
 from repro.generator.taskset_gen import GenerationConfig, generate_tasksets
 from repro.model.taskset import TaskSet
+from repro.obs import events as obs
+from repro.obs.events import EventRecorder, TraceWriter
 
 
 class FailurePolicy(str, enum.Enum):
@@ -187,6 +191,10 @@ class _UnitResult:
     failures: tuple[FailureRecord, ...]
     cache_stats: Mapping[str, int]
     elapsed_seconds: float
+    #: Buffered trace events of the unit (empty when tracing is off).
+    #: Workers never write trace files — they ship their events here
+    #: and the parent's TraceWriter persists them (single-writer rule).
+    events: tuple[Mapping[str, object], ...] = ()
 
 
 def _evaluate_unit(
@@ -197,19 +205,25 @@ def _evaluate_unit(
     taskset: TaskSet,
     policy: FailurePolicy,
     options: AnalysisOptions | None,
+    recorder: EventRecorder | None = None,
 ) -> _UnitResult:
     """Evaluate every protocol on one task set, inside a fresh cache scope.
 
     Shared by the sequential and the parallel path, so both produce
     the same verdicts, the same failure records in the same order, and
-    the same cache counters (the scope is per unit in both).
+    the same cache counters (the scope is per unit in both). With a
+    ``recorder`` the unit's analysis events (solves, cache traffic,
+    fixpoint iterations, per-protocol verdicts) are buffered and
+    returned on the unit result.
     """
     start = time.perf_counter()
     counts = {protocol: 0 for protocol in config.protocols}
     attempted = {protocol: 0 for protocol in config.protocols}
     failures: list[FailureRecord] = []
-    with cache_scope(AnalysisCache()) as cache:
+    scope = obs.recording(recorder) if recorder is not None else nullcontext()
+    with scope, cache_scope(AnalysisCache()) as cache:
         for protocol in config.protocols:
+            protocol_start = time.perf_counter()
             try:
                 verdict = is_schedulable(
                     taskset,
@@ -236,12 +250,24 @@ def _evaluate_unit(
                         ),
                     )
                 )
+                obs.emit(
+                    "protocol.failure",
+                    dur=time.perf_counter() - protocol_start,
+                    protocol=protocol,
+                    error=type(exc).__name__,
+                )
                 if policy is FailurePolicy.COUNT_UNSCHEDULABLE:
                     attempted[protocol] += 1
                 continue
             attempted[protocol] += 1
             if verdict:
                 counts[protocol] += 1
+            obs.emit(
+                "protocol.verdict",
+                dur=time.perf_counter() - protocol_start,
+                protocol=protocol,
+                schedulable=verdict,
+            )
     return _UnitResult(
         taskset_index=taskset_index,
         counts=counts,
@@ -249,6 +275,7 @@ def _evaluate_unit(
         failures=tuple(failures),
         cache_stats=cache.stats(),
         elapsed_seconds=time.perf_counter() - start,
+        events=recorder.drain() if recorder is not None else (),
     )
 
 
@@ -296,22 +323,44 @@ def run_point(
     seed: int,
     options: AnalysisOptions | None = None,
     failure_policy: FailurePolicy | str = FailurePolicy.COUNT_UNSCHEDULABLE,
+    writer: TraceWriter | None = None,
+    point_index: int = 0,
 ) -> PointResult:
     """Evaluate every protocol on the same task sets at one point.
 
     A failing taskset/protocol pair never aborts the point (unless the
     policy is ``RAISE``): it is recorded in the point's failure ledger
-    and enters the ratio per ``failure_policy``.
+    and enters the ratio per ``failure_policy``. With a ``writer``,
+    each unit's buffered events are appended to the trace as the unit
+    completes, stamped with ``point_index`` and the unit index.
     """
     policy = _coerce_policy(failure_policy)
     start = time.perf_counter()
     tasksets = list(
         generate_tasksets(point.generation, config.sets_per_point, seed)
     )
-    units = [
-        _evaluate_unit(point, config, seed, index, taskset, policy, options)
-        for index, taskset in enumerate(tasksets)
-    ]
+    if writer is not None:
+        writer.emit(
+            "gen.tasksets",
+            dur=time.perf_counter() - start,
+            point=point_index,
+            sets=len(tasksets),
+        )
+    units = []
+    for index, taskset in enumerate(tasksets):
+        unit = _evaluate_unit(
+            point,
+            config,
+            seed,
+            index,
+            taskset,
+            policy,
+            options,
+            recorder=EventRecorder() if writer is not None else None,
+        )
+        if writer is not None:
+            writer.write_events(unit.events, point=point_index, unit=index)
+        units.append(unit)
     return _merge_units(
         point, config, units, time.perf_counter() - start
     )
@@ -340,13 +389,22 @@ def _worker_evaluate(
     taskset_index: int,
     options: AnalysisOptions | None,
     policy_value: str,
+    trace: bool = False,
 ) -> "tuple[int, _UnitResult]":
     """Process-pool entry point: evaluate one (point, task set) unit."""
     point = config.points[point_index]
     seed = config.seed + point_index
-    taskset = _tasksets_for(
-        point.generation, config.sets_per_point, seed
-    )[taskset_index]
+    recorder = EventRecorder() if trace else None
+    if recorder is not None:
+        recorder.emit("worker.unit", pid=os.getpid())
+        with recorder.span("gen.tasksets", sets=config.sets_per_point):
+            taskset = _tasksets_for(
+                point.generation, config.sets_per_point, seed
+            )[taskset_index]
+    else:
+        taskset = _tasksets_for(
+            point.generation, config.sets_per_point, seed
+        )[taskset_index]
     unit = _evaluate_unit(
         point,
         config,
@@ -355,6 +413,7 @@ def _worker_evaluate(
         taskset,
         FailurePolicy(policy_value),
         options,
+        recorder=recorder,
     )
     return point_index, unit
 
@@ -367,6 +426,7 @@ def _run_experiment_parallel(
     checkpoint_path: "str | None",
     completed: "dict[int, PointResult]",
     jobs: int,
+    writer: TraceWriter | None = None,
 ) -> SweepResult:
     """Fan (point, task set) units over a process pool and merge.
 
@@ -374,6 +434,10 @@ def _run_experiment_parallel(
     unit results as they complete and performs exactly one atomic
     ``save_checkpoint`` when a point's last unit arrives, so a crash
     can lose at most the in-flight points — never corrupt the file.
+    The same discipline covers the trace: workers ship buffered events
+    on their unit results and the parent appends them when a point
+    completes, in task-set order, so the aggregate trace content
+    matches the sequential run's.
     """
     point_started = {
         index: time.perf_counter()
@@ -397,6 +461,7 @@ def _run_experiment_parallel(
                 taskset_index,
                 options,
                 policy.value,
+                writer is not None,
             )
             for point_index, taskset_index in pending
         }
@@ -422,10 +487,26 @@ def _run_experiment_parallel(
                     time.perf_counter() - point_started[point_index],
                 )
                 completed[point_index] = result
+                if writer is not None:
+                    for index in sorted(bucket):
+                        writer.write_events(
+                            bucket[index].events,
+                            point=point_index,
+                            unit=index,
+                        )
+                    writer.emit(
+                        "point.end",
+                        dur=result.elapsed_seconds,
+                        point=point_index,
+                        x=result.x,
+                        failures=len(result.failures),
+                    )
                 if checkpoint_path is not None:
                     from repro.experiments.persistence import save_checkpoint
 
                     save_checkpoint(checkpoint_path, config, completed)
+                    if writer is not None:
+                        writer.emit("checkpoint.saved", point=point_index)
                 if progress is not None:
                     progress(result)
     return SweepResult(
@@ -444,6 +525,7 @@ def run_experiment(
     checkpoint_path: "str | None" = None,
     resume: bool = False,
     jobs: int = 1,
+    trace_path: "str | None" = None,
 ) -> SweepResult:
     """Run a full sweep (all points, all protocols, shared task sets).
 
@@ -465,6 +547,11 @@ def run_experiment(
         jobs: Worker processes. ``1`` (the default) runs in-process;
             ``N > 1`` fans (point, task set) units over a process pool
             with bit-identical results (see the module docstring).
+        trace_path: When set, a structured JSONL event trace of the
+            run is written there (see :mod:`repro.obs`). The run id
+            stamped on every event is the config digest, so a trace is
+            attributable to its checkpoint. Points skipped via
+            ``resume`` emit nothing.
     """
     policy = _coerce_policy(failure_policy)
     if jobs < 1:
@@ -474,31 +561,75 @@ def run_experiment(
         from repro.experiments.persistence import load_checkpoint
 
         completed = load_checkpoint(checkpoint_path, config, missing_ok=True)
-    if jobs > 1:
-        return _run_experiment_parallel(
-            config, options, progress, policy, checkpoint_path, completed, jobs
-        )
-    results = []
-    for index, point in enumerate(config.points):
-        if index in completed:
-            result = completed[index]
-        else:
-            result = run_point(
-                point,
-                config,
-                seed=config.seed + index,
-                options=options,
-                failure_policy=policy,
-            )
-            completed[index] = result
-            if checkpoint_path is not None:
-                from repro.experiments.persistence import save_checkpoint
+    writer: TraceWriter | None = None
+    if trace_path is not None:
+        from repro.experiments.persistence import config_digest
 
-                save_checkpoint(checkpoint_path, config, completed)
-        if progress is not None:
-            progress(result)
-        results.append(result)
-    return SweepResult(config=config, points=tuple(results))
+        writer = TraceWriter(trace_path, run_id=config_digest(config)[:12])
+    try:
+        if writer is not None:
+            writer.emit(
+                "run.start",
+                points=len(config.points),
+                sets=config.sets_per_point,
+                jobs=jobs,
+                resumed=len(completed),
+            )
+        run_start = time.perf_counter()
+        if jobs > 1:
+            result = _run_experiment_parallel(
+                config,
+                options,
+                progress,
+                policy,
+                checkpoint_path,
+                completed,
+                jobs,
+                writer=writer,
+            )
+            if writer is not None:
+                writer.emit(
+                    "run.end", dur=time.perf_counter() - run_start
+                )
+            return result
+        results = []
+        for index, point in enumerate(config.points):
+            if index in completed:
+                result_point = completed[index]
+            else:
+                result_point = run_point(
+                    point,
+                    config,
+                    seed=config.seed + index,
+                    options=options,
+                    failure_policy=policy,
+                    writer=writer,
+                    point_index=index,
+                )
+                completed[index] = result_point
+                if writer is not None:
+                    writer.emit(
+                        "point.end",
+                        dur=result_point.elapsed_seconds,
+                        point=index,
+                        x=result_point.x,
+                        failures=len(result_point.failures),
+                    )
+                if checkpoint_path is not None:
+                    from repro.experiments.persistence import save_checkpoint
+
+                    save_checkpoint(checkpoint_path, config, completed)
+                    if writer is not None:
+                        writer.emit("checkpoint.saved", point=index)
+            if progress is not None:
+                progress(result_point)
+            results.append(result_point)
+        if writer is not None:
+            writer.emit("run.end", dur=time.perf_counter() - run_start)
+        return SweepResult(config=config, points=tuple(results))
+    finally:
+        if writer is not None:
+            writer.close()
 
 
 def compare_on_taskset(

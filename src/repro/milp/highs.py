@@ -7,6 +7,7 @@ which plays the role IBM CPLEX plays in the paper's experiments.
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Mapping
 
 import numpy as np
@@ -15,6 +16,7 @@ from scipy.optimize import Bounds, LinearConstraint, milp
 from repro.errors import BackendUnavailableError, SolverTimeoutError
 from repro.milp.model import MilpBackend, MilpModel
 from repro.milp.solution import MilpSolution, SolveStatus
+from repro.obs import events as obs
 
 # scipy.optimize.milp status codes (see its docs).
 _SCIPY_STATUS = {
@@ -24,6 +26,19 @@ _SCIPY_STATUS = {
     3: SolveStatus.UNBOUNDED,
     4: SolveStatus.ERROR,
 }
+
+# Option perturbations tried, in order, when HiGHS reports status 4
+# (solver error). Some HiGHS builds fail in presolve on models that are
+# perfectly solvable; others need a tighter integer-feasibility
+# tolerance on degenerate models (e.g. duplicate rows from l=u memory
+# demands). ``mip_feasibility_tolerance`` is not in scipy's known-option
+# list and is passed to HiGHS verbatim (scipy warns about that; the
+# warning is suppressed below because verbatim is exactly the intent).
+_STATUS4_RETRY_LADDER: tuple[Mapping[str, object], ...] = (
+    {"presolve": False},
+    {"mip_feasibility_tolerance": 1e-7},
+    {"presolve": False, "mip_feasibility_tolerance": 1e-7},
+)
 
 
 class HighsBackend(MilpBackend):
@@ -83,17 +98,25 @@ class HighsBackend(MilpBackend):
             integrality=compiled.integrality,
             options=options or None,
         )
-        if result.status == 4:
-            # Some HiGHS builds fail in presolve on models that are
-            # perfectly solvable; retry without presolve before giving
-            # up (slower but exact).
-            result = milp(
-                c=c,
-                constraints=constraints,
-                bounds=bounds,
-                integrality=compiled.integrality,
-                options={**options, "presolve": False},
+        for perturbation in _STATUS4_RETRY_LADDER:
+            if result.status != 4:
+                break
+            obs.emit(
+                "highs.retry",
+                model=model.name,
+                options=dict(perturbation),
             )
+            with warnings.catch_warnings():
+                warnings.filterwarnings(
+                    "ignore", message="Unrecognized options"
+                )
+                result = milp(
+                    c=c,
+                    constraints=constraints,
+                    bounds=bounds,
+                    integrality=compiled.integrality,
+                    options={**options, **perturbation},
+                )
         elapsed = time.perf_counter() - start
 
         stats = (
@@ -101,6 +124,14 @@ class HighsBackend(MilpBackend):
             f"elapsed={elapsed:.2f}s"
         )
         status = _SCIPY_STATUS.get(result.status, SolveStatus.ERROR)
+        obs.emit(
+            "highs.solve",
+            dur=elapsed,
+            model=model.name,
+            scipy_status=int(result.status),
+            rows=compiled.num_rows,
+            vars=compiled.num_vars,
+        )
         if status.has_solution and result.x is None:
             # Limit hit before any incumbent was found: there is no
             # value to report, not even an unsafe one.
@@ -111,7 +142,8 @@ class HighsBackend(MilpBackend):
         if status is SolveStatus.ERROR:
             raise BackendUnavailableError(
                 f"HiGHS failed (scipy status {result.status}) on model "
-                f"{model.name!r}, presolve retry included ({stats})"
+                f"{model.name!r}, {len(_STATUS4_RETRY_LADDER)} option "
+                f"retries included ({stats})"
             )
         if not status.has_solution:
             return MilpSolution(

@@ -41,6 +41,7 @@ from repro.milp.highs import HighsBackend
 from repro.milp.model import MilpBackend, MilpModel
 from repro.milp.relaxation import LpRelaxationBackend
 from repro.milp.solution import DegradationLevel, MilpSolution, SolveStatus
+from repro.obs import events as obs
 
 #: A fallback rung: the level it reports plus the backend that runs it.
 FallbackStep = tuple[DegradationLevel, MilpBackend]
@@ -197,6 +198,12 @@ class ResilientBackend(MilpBackend):
             try:
                 return future.result(timeout=self.watchdog_seconds)
             except _FutureTimeout:
+                obs.emit(
+                    "resilience.watchdog",
+                    model=model.name,
+                    backend=backend.name,
+                    limit=self.watchdog_seconds,
+                )
                 raise SolverTimeoutError(
                     f"watchdog expired after {self.watchdog_seconds}s on "
                     f"model {model.name!r} (backend {backend.name!r})"
@@ -214,11 +221,23 @@ class ResilientBackend(MilpBackend):
                 solution = self._guarded(backend, model)
             except (SolverTimeoutError, BackendUnavailableError) as exc:
                 history.append(f"attempt {attempt}: {type(exc).__name__}: {exc}")
+                obs.emit(
+                    "resilience.retry",
+                    model=model.name,
+                    attempt=attempt,
+                    error=type(exc).__name__,
+                )
             else:
                 if solution.status is not SolveStatus.ERROR:
                     return solution
                 history.append(
                     f"attempt {attempt}: status=error from {backend.name!r}"
+                )
+                obs.emit(
+                    "resilience.retry",
+                    model=model.name,
+                    attempt=attempt,
+                    error="status_error",
                 )
             if attempt < self.max_retries:
                 self._sleep(self.backoff_base * self.backoff_factor**attempt)
@@ -234,12 +253,16 @@ class ResilientBackend(MilpBackend):
             if solution.status is SolveStatus.ERROR:
                 history.append(f"{level.name}: status=error from {backend.name!r}")
                 continue
+            obs.emit(
+                "resilience.fallback", model=model.name, level=level.name
+            )
             return dataclasses.replace(solution, degradation=level)
 
         if (
             self.closed_form_objective is not None
             and self.max_degradation >= DegradationLevel.CLOSED_FORM
         ):
+            obs.emit("resilience.closed_form", model=model.name)
             return MilpSolution(
                 status=SolveStatus.TIME_LIMIT,
                 objective=float(self.closed_form_objective()),

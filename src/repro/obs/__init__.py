@@ -1,0 +1,52 @@
+"""Run observability: structured event tracing and trace profiling.
+
+See :mod:`repro.obs.events` for the event contract and the
+recorder/writer pipeline, and :mod:`repro.obs.profile` for turning a
+trace into a per-phase report.
+"""
+
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EVENT_VERSION,
+    RUNTIME_PREFIXES,
+    EventRecorder,
+    TraceWriter,
+    active_recorder,
+    emit,
+    is_runtime_event,
+    read_trace,
+    recording,
+    require_valid_event,
+    span,
+    validate_event,
+)
+from repro.obs.profile import (
+    ProfileReport,
+    aggregate_events,
+    compare_profiles,
+    profile_trace,
+    reconcile,
+    render_profile,
+)
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "EVENT_VERSION",
+    "RUNTIME_PREFIXES",
+    "EventRecorder",
+    "ProfileReport",
+    "TraceWriter",
+    "active_recorder",
+    "aggregate_events",
+    "compare_profiles",
+    "emit",
+    "is_runtime_event",
+    "profile_trace",
+    "read_trace",
+    "reconcile",
+    "recording",
+    "render_profile",
+    "require_valid_event",
+    "span",
+    "validate_event",
+]

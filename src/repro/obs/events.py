@@ -1,0 +1,360 @@
+"""Structured run-observability events: schema, recorder, JSONL sink.
+
+A *trace* is a JSONL file of flat event records describing where a run
+spent its time and which code paths it exercised — task-set
+generation, response-time fixpoint iterations, MILP/LP solves,
+analysis-cache traffic, greedy LS rounds, resilience retries/fallbacks,
+and worker lifecycle. Three pieces cooperate:
+
+* :class:`EventRecorder` — an in-memory buffer with monotonic
+  timestamps (``time.perf_counter``; wall-clock reads are banned in
+  worker-reachable code, see ``repro lint``). Instrumented code emits
+  through the module-level :func:`emit`/:func:`span` helpers, which are
+  no-ops unless a recorder is installed with :func:`recording` — the
+  hot paths pay one list lookup when tracing is off.
+* :class:`TraceWriter` — the **single writer** of a trace file. Only
+  the parent experiment process ever holds one (the same discipline as
+  sweep checkpoints): workers buffer events in their own recorder and
+  ship them back inside their unit results; the parent stamps the
+  run/point/unit correlation ids and appends them in task-set order,
+  so a ``--jobs N`` trace is identical in content and order to the
+  sequential one, timestamps aside.
+* :data:`EVENT_SCHEMA` / :func:`validate_event` — the record contract.
+  Every line a :class:`TraceWriter` emits validates; readers
+  (:mod:`repro.obs.profile`, the CI perf-smoke job) re-validate.
+
+Event names are dot-namespaced. Names matching
+:data:`RUNTIME_PREFIXES` describe *runtime* behaviour (which process
+generated a sample, how often a solver was retried, when checkpoints
+were written) whose event counts legitimately vary with worker count
+and machine load; every other name is a *work* event whose aggregate
+counts are deterministic — identical between ``--jobs 1`` and
+``--jobs N`` runs of the same configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Callable, Iterator, Mapping
+
+from repro.errors import ObservabilityError
+
+#: Version stamped into every event record (the ``v`` field).
+EVENT_VERSION = 1
+
+#: Event-name prefixes whose counts are runtime-dependent (worker
+#: placement, memoisation, retries, wall-clock pressure) and therefore
+#: excluded from the determinism contract and comparison.
+RUNTIME_PREFIXES = (
+    "worker.",
+    "gen.",
+    "resilience.",
+    "checkpoint.",
+    "highs.",
+)
+
+#: JSON Schema (draft-07 subset) of one trace event record.
+EVENT_SCHEMA: dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro trace event",
+    "type": "object",
+    "properties": {
+        "v": {"const": EVENT_VERSION},
+        "name": {"type": "string", "minLength": 1},
+        "t": {"type": "number"},
+        "dur": {"type": "number", "minimum": 0},
+        "run": {"type": "string"},
+        "point": {"type": "integer", "minimum": 0},
+        "unit": {"type": "integer", "minimum": 0},
+        "task": {"type": "string"},
+        "f": {"type": "object"},
+    },
+    "required": ["v", "name", "t"],
+    "additionalProperties": False,
+}
+
+_OPTIONAL_TYPES: dict[str, type | tuple[type, ...]] = {
+    "dur": (int, float),
+    "run": str,
+    "point": int,
+    "unit": int,
+    "task": str,
+    "f": dict,
+}
+
+
+def is_runtime_event(name: str) -> bool:
+    """Whether an event name is outside the determinism contract."""
+    return name.startswith(RUNTIME_PREFIXES)
+
+
+def validate_event(event: object) -> list[str]:
+    """Problems of one event record against :data:`EVENT_SCHEMA`.
+
+    Hand-rolled (the schema is small and ``jsonschema`` is not a
+    dependency); returns an empty list for a valid record.
+    """
+    if not isinstance(event, dict):
+        return [f"event must be an object, got {type(event).__name__}"]
+    problems: list[str] = []
+    if event.get("v") != EVENT_VERSION:
+        problems.append(f"v must be {EVENT_VERSION}, got {event.get('v')!r}")
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"name must be a non-empty string, got {name!r}")
+    t = event.get("t")
+    if not isinstance(t, (int, float)) or isinstance(t, bool):
+        problems.append(f"t must be a number, got {t!r}")
+    for key, expected in _OPTIONAL_TYPES.items():
+        if key not in event:
+            continue
+        value = event[key]
+        if isinstance(value, bool) or not isinstance(value, expected):
+            problems.append(f"{key} has invalid type {type(value).__name__}")
+        elif key == "dur" and value < 0:
+            problems.append(f"dur must be non-negative, got {value!r}")
+        elif key in ("point", "unit") and value < 0:
+            problems.append(f"{key} must be non-negative, got {value!r}")
+    extras = set(event) - set(EVENT_SCHEMA["properties"])
+    if extras:
+        problems.append(f"unknown fields {sorted(extras)}")
+    return problems
+
+
+def require_valid_event(event: object, where: str = "") -> dict:
+    """Return ``event`` if valid, else raise :class:`ObservabilityError`."""
+    problems = validate_event(event)
+    if problems:
+        prefix = f"{where}: " if where else ""
+        raise ObservabilityError(
+            f"{prefix}invalid trace event: " + "; ".join(problems)
+        )
+    assert isinstance(event, dict)
+    return event
+
+
+class EventRecorder:
+    """Buffers events in memory; the worker half of the trace pipeline.
+
+    Recorders never touch the filesystem — a worker process drains its
+    recorder into the unit result it returns, and the parent's
+    :class:`TraceWriter` persists the events. Appending is a single
+    ``list.append``, safe from the watchdog's solver thread too.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._events: list[dict] = []
+
+    def emit(
+        self,
+        name: str,
+        *,
+        dur: float | None = None,
+        task: str | None = None,
+        point: int | None = None,
+        unit: int | None = None,
+        **fields: object,
+    ) -> None:
+        """Record one event (extra keyword fields go into ``f``)."""
+        event: dict = {"v": EVENT_VERSION, "name": name, "t": self._clock()}
+        if dur is not None:
+            event["dur"] = max(0.0, float(dur))
+        if task is not None:
+            event["task"] = task
+        if point is not None:
+            event["point"] = point
+        if unit is not None:
+            event["unit"] = unit
+        if fields:
+            event["f"] = fields
+        self._events.append(event)
+
+    @contextmanager
+    def span(
+        self, name: str, *, task: str | None = None, **fields: object
+    ) -> Iterator[None]:
+        """Time a block and emit one event with its duration on exit."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.emit(name, dur=self._clock() - start, task=task, **fields)
+
+    @property
+    def events(self) -> tuple[dict, ...]:
+        return tuple(self._events)
+
+    def drain(self) -> tuple[dict, ...]:
+        """Return all buffered events and clear the buffer."""
+        events = tuple(self._events)
+        self._events.clear()
+        return events
+
+
+# ----------------------------------------------------------------------
+# module-level recording scope
+# ----------------------------------------------------------------------
+# A plain module-level stack, deliberately *not* thread-local: the
+# resilient backend runs solves in a watchdog thread and their events
+# must land in the same recorder. Experiment code evaluates one work
+# unit at a time per process, so scopes never interleave.
+_RECORDERS: list[EventRecorder] = []
+
+
+def active_recorder() -> EventRecorder | None:
+    """The innermost installed recorder, or ``None`` (tracing off)."""
+    return _RECORDERS[-1] if _RECORDERS else None
+
+
+@contextmanager
+def recording(
+    recorder: EventRecorder | None = None,
+) -> Iterator[EventRecorder]:
+    """Install ``recorder`` (or a fresh one) for the dynamic extent."""
+    scoped = recorder if recorder is not None else EventRecorder()
+    _RECORDERS.append(scoped)
+    try:
+        yield scoped
+    finally:
+        _RECORDERS.pop()
+
+
+def emit(
+    name: str,
+    *,
+    dur: float | None = None,
+    task: str | None = None,
+    **fields: object,
+) -> None:
+    """Emit an event to the active recorder; no-op when tracing is off."""
+    recorder = active_recorder()
+    if recorder is not None:
+        recorder.emit(name, dur=dur, task=task, **fields)
+
+
+@contextmanager
+def span(
+    name: str, *, task: str | None = None, **fields: object
+) -> Iterator[None]:
+    """Module-level :meth:`EventRecorder.span`; no-op when tracing is off."""
+    recorder = active_recorder()
+    if recorder is None:
+        yield
+        return
+    with recorder.span(name, task=task, **fields):
+        yield
+
+
+# ----------------------------------------------------------------------
+# JSONL sink (parent process only)
+# ----------------------------------------------------------------------
+class TraceWriter:
+    """Append-only JSONL sink; the sole writer of one trace file.
+
+    Stamps the run correlation id (and, for shipped worker buffers,
+    the point/unit ids) onto every record and validates each line
+    before writing. Lines are compact, key-sorted JSON, so identical
+    event streams serialise identically.
+    """
+
+    def __init__(self, path: str | Path, run_id: str) -> None:
+        self.path = Path(path)
+        self.run_id = run_id
+        self._clock = time.perf_counter
+        try:
+            self._file: IO[str] | None = open(self.path, "w")
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot open trace file {self.path}: {exc}"
+            ) from exc
+        self.lines_written = 0
+
+    def write(
+        self,
+        event: Mapping[str, object],
+        *,
+        point: int | None = None,
+        unit: int | None = None,
+    ) -> None:
+        """Stamp correlation ids onto one event and append it."""
+        if self._file is None:
+            raise ObservabilityError(f"trace file {self.path} already closed")
+        record = dict(event)
+        record.setdefault("run", self.run_id)
+        if point is not None:
+            record.setdefault("point", point)
+        if unit is not None:
+            record.setdefault("unit", unit)
+        require_valid_event(record, where=str(self.path))
+        self._file.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self.lines_written += 1
+
+    def write_events(
+        self,
+        events: "tuple[Mapping[str, object], ...] | list[Mapping[str, object]]",
+        *,
+        point: int | None = None,
+        unit: int | None = None,
+    ) -> None:
+        """Append a worker's buffered events under one (point, unit)."""
+        for event in events:
+            self.write(event, point=point, unit=unit)
+
+    def emit(
+        self,
+        name: str,
+        *,
+        dur: float | None = None,
+        point: int | None = None,
+        unit: int | None = None,
+        task: str | None = None,
+        **fields: object,
+    ) -> None:
+        """Build and append one parent-side event directly."""
+        event: dict = {"v": EVENT_VERSION, "name": name, "t": self._clock()}
+        if dur is not None:
+            event["dur"] = max(0.0, float(dur))
+        if task is not None:
+            event["task"] = task
+        if fields:
+            event["f"] = fields
+        self.write(event, point=point, unit=unit)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Read and validate every event of a JSONL trace file."""
+    path = Path(path)
+    if not path.exists():
+        raise ObservabilityError(f"trace file not found: {path}")
+    events: list[dict] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ObservabilityError(
+                    f"{path}:{lineno}: invalid JSON: {exc}"
+                ) from exc
+            events.append(require_valid_event(event, where=f"{path}:{lineno}"))
+    return events

@@ -17,12 +17,22 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.sim.trace import Trace
-from repro.types import Time
+from repro.types import TIME_EPS, Time
 
 
 @dataclass(frozen=True)
 class ResponseStats:
-    """Response-time statistics of one task over a trace."""
+    """Response-time statistics of one task over a trace.
+
+    ``count`` covers completed jobs only; ``incomplete`` counts jobs
+    released but not finished by the end of the observed span (e.g.
+    cut off at the simulation horizon). ``misses`` includes both
+    completed-late jobs and incomplete jobs whose absolute deadline
+    fell inside the span — a job that is overdue *and* unfinished is a
+    miss, not a statistic to drop. ``p95`` uses the ``"higher"``
+    percentile method, so it is always an observed response time and
+    never interpolates below the tail on small samples.
+    """
 
     task_name: str
     count: int
@@ -32,10 +42,12 @@ class ResponseStats:
     maximum: Time
     deadline: Time
     misses: int
+    incomplete: int = 0
 
     @property
     def miss_ratio(self) -> float:
-        return self.misses / self.count if self.count else 0.0
+        observed = self.count + self.incomplete
+        return self.misses / observed if observed else 0.0
 
 
 @dataclass(frozen=True)
@@ -69,11 +81,29 @@ class TraceMetrics:
 
 
 def _span(trace: Trace) -> tuple[Time, Time]:
+    """Smallest window covering every recorded timestamp of the trace.
+
+    Every non-``None`` phase stamp counts, not just releases and
+    copy-out completions: a horizon-truncated job contributes its
+    exec/copy-in durations to the busy sums, so the span must extend to
+    those stamps too or busy fractions can exceed 1.0.
+    """
     events: list[Time] = []
     for job in trace.jobs:
         events.append(job.release)
-        if job.copy_out_end is not None:
-            events.append(job.copy_out_end)
+        for stamp in (
+            job.copy_in_start,
+            job.copy_in_end,
+            job.exec_start,
+            job.exec_end,
+            job.copy_out_start,
+            job.copy_out_end,
+        ):
+            if stamp is not None:
+                events.append(stamp)
+        for a, b in job.cancelled_copy_ins:
+            events.append(a)
+            events.append(b)
     if not events:
         raise SimulationError("cannot compute metrics of an empty trace")
     return min(events), max(events)
@@ -86,21 +116,41 @@ def compute_metrics(trace: Trace) -> TraceMetrics:
 
     per_task: dict[str, ResponseStats] = {}
     for name in sorted({j.task.name for j in trace.jobs}):
-        jobs = [j for j in trace.jobs_of(name) if j.completed]
-        if not jobs:
-            continue
-        responses = np.array([j.response_time for j in jobs])
-        deadline = jobs[0].task.deadline
-        per_task[name] = ResponseStats(
-            task_name=name,
-            count=len(jobs),
-            minimum=float(responses.min()),
-            mean=float(responses.mean()),
-            p95=float(np.percentile(responses, 95)),
-            maximum=float(responses.max()),
-            deadline=deadline,
-            misses=int((responses > deadline + 1e-9).sum()),
+        all_jobs = trace.jobs_of(name)
+        done = [j for j in all_jobs if j.completed]
+        pending = [j for j in all_jobs if not j.completed]
+        deadline = all_jobs[0].task.deadline
+        # An unfinished job whose absolute deadline lies inside the
+        # observed span has demonstrably missed it.
+        overdue = sum(
+            1 for j in pending if j.release + deadline <= end + TIME_EPS
         )
+        if done:
+            responses = np.array([j.response_time for j in done])
+            late = int((responses > deadline + TIME_EPS).sum())
+            per_task[name] = ResponseStats(
+                task_name=name,
+                count=len(done),
+                minimum=float(responses.min()),
+                mean=float(responses.mean()),
+                p95=float(np.percentile(responses, 95, method="higher")),
+                maximum=float(responses.max()),
+                deadline=deadline,
+                misses=late + overdue,
+                incomplete=len(pending),
+            )
+        elif pending:
+            per_task[name] = ResponseStats(
+                task_name=name,
+                count=0,
+                minimum=math.nan,
+                mean=math.nan,
+                p95=math.nan,
+                maximum=math.nan,
+                deadline=deadline,
+                misses=overdue,
+                incomplete=len(pending),
+            )
 
     cpu_busy = 0.0
     dma_busy = 0.0
@@ -176,12 +226,12 @@ def render_metrics(metrics: TraceMetrics) -> str:
         f"urgent executions: {metrics.urgent_executions}",
         "",
         f"{'task':<12}{'jobs':>6}{'min':>9}{'mean':>9}{'p95':>9}"
-        f"{'max':>9}{'D':>8}{'miss':>6}",
+        f"{'max':>9}{'D':>8}{'miss':>6}{'inc':>5}",
     ]
     for stats in metrics.per_task.values():
         lines.append(
             f"{stats.task_name:<12}{stats.count:>6}{stats.minimum:>9.3f}"
             f"{stats.mean:>9.3f}{stats.p95:>9.3f}{stats.maximum:>9.3f}"
-            f"{stats.deadline:>8.2f}{stats.misses:>6}"
+            f"{stats.deadline:>8.2f}{stats.misses:>6}{stats.incomplete:>5}"
         )
     return "\n".join(lines)

@@ -130,6 +130,61 @@ class TestCommands:
                 ["figure", "fig2e", "--failure-policy", "explode"]
             )
 
+    def test_figure_trace_and_profile_reconcile(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        checkpoint = tmp_path / "ck.json"
+        code = main(
+            ["figure", "fig2e", "--sets", "1", "--method", "closed_form",
+             "--trace", str(trace), "--checkpoint", str(checkpoint)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace written to" in out
+        assert trace.exists()
+        code = main(
+            ["profile", str(trace), "--checkpoint", str(checkpoint)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "work events" in out
+        assert "reconciles" in out
+
+    def test_profile_reports_mismatch(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        checkpoint = tmp_path / "ck.json"
+        assert main(
+            ["figure", "fig2e", "--sets", "1", "--method", "closed_form",
+             "--trace", str(trace), "--checkpoint", str(checkpoint)]
+        ) == 0
+        # Drop the cache events: the counters can no longer reconcile.
+        kept = [
+            line
+            for line in trace.read_text().splitlines()
+            if '"cache.' not in line
+        ]
+        trace.write_text("\n".join(kept) + "\n")
+        capsys.readouterr()
+        code = main(["profile", str(trace), "--checkpoint", str(checkpoint)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "MISMATCH" in out
+
+    def test_profile_no_timings_is_deterministic_form(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["figure", "fig2e", "--sets", "1", "--method", "closed_form",
+             "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["profile", str(trace), "--no-timings"]) == 0
+        out = capsys.readouterr().out
+        assert "work events" in out
+        assert "timings" not in out
+
+    def test_profile_missing_trace_errors(self, capsys):
+        code = main(["profile", "/nonexistent/trace.jsonl"])
+        assert code in (1, 2)
+
     def test_demo_runs(self, capsys):
         code = main(["demo"])
         out = capsys.readouterr().out

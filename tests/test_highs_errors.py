@@ -77,10 +77,53 @@ class TestPresolveRetry:
         assert calls[0].get("presolve") is None
         assert calls[1]["presolve"] is False
 
-    def test_status_4_twice_raises_with_model_stats(self, monkeypatch):
-        _patch_milp(monkeypatch, [_FakeResult(status=4), _FakeResult(status=4)])
+    def test_status_4_walks_the_full_option_ladder(self, monkeypatch):
+        # presolve off, then tighter feasibility tolerance, then both.
+        calls = _patch_milp(
+            monkeypatch,
+            [
+                _FakeResult(status=4),
+                _FakeResult(status=4),
+                _FakeResult(status=4),
+                _FakeResult(status=0, x=np.array([1.0, 1.0])),
+            ],
+        )
+        solution = HighsBackend().solve(_model())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert len(calls) == 4
+        assert calls[1] == {"presolve": False}
+        assert calls[2] == {"mip_feasibility_tolerance": 1e-7}
+        assert calls[3] == {
+            "presolve": False,
+            "mip_feasibility_tolerance": 1e-7,
+        }
+
+    def test_status_4_retries_are_traced(self, monkeypatch):
+        from repro.obs import recording
+
+        _patch_milp(
+            monkeypatch,
+            [
+                _FakeResult(status=4),
+                _FakeResult(status=0, x=np.array([1.0, 1.0])),
+            ],
+        )
+        with recording() as recorder:
+            HighsBackend().solve(_model())
+        by_name = {}
+        for event in recorder.events:
+            by_name.setdefault(event["name"], []).append(event)
+        assert len(by_name["highs.retry"]) == 1
+        assert by_name["highs.retry"][0]["f"]["options"] == {"presolve": False}
+        (solve,) = by_name["highs.solve"]
+        assert solve["f"]["scipy_status"] == 0
+        assert solve["f"]["rows"] == 1 and solve["f"]["vars"] == 2
+
+    def test_exhausted_ladder_raises_with_model_stats(self, monkeypatch):
+        calls = _patch_milp(monkeypatch, [_FakeResult(status=4)])
         with pytest.raises(BackendUnavailableError) as excinfo:
             HighsBackend().solve(_model())
+        assert len(calls) == 4  # initial attempt + three ladder rungs
         message = str(excinfo.value)
         assert "rows=1" in message
         assert "vars=2" in message

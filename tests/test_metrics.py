@@ -89,3 +89,130 @@ class TestRendering:
 
     def test_histogram_empty(self):
         assert "(no data)" in text_histogram([], title="x")
+
+
+def _job(task, release, **stamps):
+    from repro.sim.trace import Job
+
+    return Job(task=task, release=release, index=0, **stamps)
+
+
+class TestTruncatedTraceRegressions:
+    """Horizon-truncated jobs must not corrupt span or miss accounting."""
+
+    def _taskset(self, deadline=10.0):
+        return TaskSet.from_parameters(
+            [("a", 2.0, 0.5, 0.5, 10.0, deadline)]
+        )
+
+    def test_busy_fractions_bounded_with_truncated_job(self):
+        # A job cut off mid-execution contributes its exec duration to
+        # the busy sums; the span must therefore extend to its last
+        # stamp, or cpu_busy_fraction exceeds 1.0 (it was 4/3 before
+        # the fix: span stopped at the last copy_out_end, 3.0).
+        (task,) = self._taskset()
+        done = _job(
+            task, 0.0,
+            copy_in_start=0.0, copy_in_end=0.5,
+            exec_start=0.5, exec_end=2.5,
+            copy_out_start=2.5, copy_out_end=3.0,
+        )
+        truncated = _job(
+            task, 3.0,
+            copy_in_start=3.0, copy_in_end=3.5,
+            exec_start=3.5, exec_end=5.5,
+        )
+        metrics = compute_metrics(Trace(jobs=[done, truncated]))
+        assert metrics.cpu_busy_fraction <= 1.0
+        assert metrics.dma_busy_fraction <= 1.0
+        assert metrics.cpu_busy_fraction == pytest.approx(4.0 / 5.5)
+
+    def test_overdue_incomplete_job_counts_as_miss(self):
+        # The truncated job's absolute deadline (3.0 + 4.0) falls
+        # inside the observed span, so it has demonstrably missed —
+        # before the fix it was silently dropped (`if j.completed`).
+        (task,) = self._taskset(deadline=4.0)
+        done = _job(
+            task, 0.0,
+            copy_in_start=0.0, copy_in_end=0.5,
+            exec_start=0.5, exec_end=2.5,
+            copy_out_start=2.5, copy_out_end=3.0,
+        )
+        overdue = _job(
+            task, 3.0,
+            copy_in_start=3.0, copy_in_end=3.5,
+            exec_start=3.5, exec_end=8.0,
+        )
+        stats = compute_metrics(Trace(jobs=[done, overdue])).per_task["a"]
+        assert stats.count == 1  # completed jobs only
+        assert stats.incomplete == 1
+        assert stats.misses == 1
+        assert stats.miss_ratio == pytest.approx(0.5)
+
+    def test_incomplete_within_deadline_is_not_a_miss(self):
+        (task,) = self._taskset(deadline=10.0)
+        done = _job(
+            task, 0.0,
+            copy_in_start=0.0, copy_in_end=0.5,
+            exec_start=0.5, exec_end=2.5,
+            copy_out_start=2.5, copy_out_end=3.0,
+        )
+        pending = _job(
+            task, 3.0,
+            copy_in_start=3.0, copy_in_end=3.5,
+            exec_start=3.5, exec_end=5.0,
+        )
+        stats = compute_metrics(Trace(jobs=[done, pending])).per_task["a"]
+        assert stats.incomplete == 1
+        assert stats.misses == 0
+
+    def test_task_with_only_incomplete_jobs_still_reported(self):
+        (task,) = self._taskset(deadline=4.0)
+        overdue = _job(
+            task, 0.0,
+            copy_in_start=0.0, copy_in_end=0.5,
+            exec_start=0.5, exec_end=6.0,
+        )
+        stats = compute_metrics(Trace(jobs=[overdue])).per_task["a"]
+        assert stats.count == 0
+        assert stats.incomplete == 1
+        assert stats.misses == 1
+        assert math.isnan(stats.mean)
+        assert stats.miss_ratio == 1.0
+
+    def test_cancelled_copy_in_stamps_extend_span(self):
+        (task,) = self._taskset()
+        job = _job(
+            task, 0.0,
+            copy_in_start=0.0, copy_in_end=0.5,
+            exec_start=0.5, exec_end=2.5,
+            copy_out_start=2.5, copy_out_end=3.0,
+        )
+        job.cancelled_copy_ins.append((3.0, 4.0))
+        metrics = compute_metrics(Trace(jobs=[job]))
+        assert metrics.dma_busy_fraction <= 1.0
+        # copy-in 0.5 + copy-out 0.5 + cancelled 1.0, over span 4.0
+        assert metrics.dma_busy_fraction == pytest.approx(2.0 / 4.0)
+
+
+class TestP95Conservative:
+    def test_p95_is_an_observed_value_on_small_samples(self):
+        # With method="higher" the p95 of a small sample is an actual
+        # observation, never a linear interpolation below the tail
+        # (plain np.percentile([1..4], 95) would report 3.85).
+        ts = TaskSet.from_parameters([("a", 2.0, 0.5, 0.5, 20.0, 20.0)])
+        (task,) = ts
+        jobs = []
+        for k, resp in enumerate((1.0, 2.0, 3.0, 4.0)):
+            release = 5.0 * k
+            jobs.append(
+                _job(
+                    task, release,
+                    copy_in_start=release, copy_in_end=release + 0.1,
+                    exec_start=release + 0.1, exec_end=release + 0.3,
+                    copy_out_start=release + 0.3,
+                    copy_out_end=release + resp,
+                )
+            )
+        stats = compute_metrics(Trace(jobs=jobs)).per_task["a"]
+        assert stats.p95 == 4.0

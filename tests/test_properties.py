@@ -125,7 +125,11 @@ class TestDominance:
                 ts, task, blocking_intervals=2, urgent_possible=True,
                 deadline_cap=1e12,
             )
-            assert result.wcrt <= closed + 1e-6
+            # The fixpoint keeps max(response, new_response) on
+            # convergence, so the reported WCRT can sit up to
+            # convergence_eps above the true fixpoint (and hence above
+            # the closed form); allow that slack plus float headroom.
+            assert result.wcrt <= closed + _EXACT.convergence_eps + 1e-9
 
     @settings(max_examples=10, deadline=None)
     @given(small_tasksets())
