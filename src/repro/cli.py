@@ -4,7 +4,8 @@ Subcommands::
 
     repro analyze     <taskset> [--protocol ...]  per-task WCRT bounds
     repro simulate    <taskset> [--protocol ...]  run a simulation + Gantt
-    repro figure      <fig2a..fig2f> [--sets N]   regenerate a Fig. 2 inset
+    repro figure      <fig2a..fig2f> [--sets N] [--inject plan.json]
+                                                  regenerate a Fig. 2 inset
     repro demo                                    the Fig. 1 motivating example
     repro sensitivity <taskset> [--knob ...]      critical scaling factor
     repro metrics     <taskset> [--protocol ...]  simulate + trace metrics
@@ -32,7 +33,7 @@ import numpy as np
 
 from repro.analysis.interface import AnalysisOptions
 from repro.analysis.schedulability import PROTOCOLS, analyze_taskset
-from repro.errors import ReproError
+from repro.errors import ObservabilityError, ReproError
 from repro.io import load_taskset
 from repro.experiments.config import FIGURE2_INSETS, figure2_config
 from repro.experiments.report import (
@@ -126,6 +127,16 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    fault_plan = None
+    if args.inject:
+        from repro.faults import load_plan
+
+        fault_plan = load_plan(args.inject)
+        print(
+            f"injecting faults from {args.inject} "
+            f"(plan {fault_plan.name or '(unnamed)'}, "
+            f"{len(fault_plan.specs)} spec(s))"
+        )
     workers = f", {args.jobs} workers" if args.jobs > 1 else ""
     print(
         f"running {args.inset} with {args.sets} task sets per point{workers}"
@@ -139,6 +150,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         resume=args.resume,
         jobs=args.jobs,
         trace_path=args.trace or None,
+        fault_plan=fault_plan,
     )
     if args.trace:
         print(f"trace written to {args.trace}")
@@ -156,20 +168,46 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from repro.obs import aggregate_events, read_trace, reconcile, render_profile
+    from repro.obs import (
+        aggregate_events,
+        read_trace_lenient,
+        reconcile,
+        render_profile,
+    )
 
-    report = aggregate_events(read_trace(args.trace))
+    events, corruption = read_trace_lenient(args.trace)
+    if not events:
+        detail = (
+            f"{corruption.total} corrupt line(s) skipped"
+            if corruption.total
+            else "the file is empty or not a JSONL trace"
+        )
+        raise ObservabilityError(
+            f"trace {args.trace} contains no valid events ({detail})"
+        )
+    report = aggregate_events(events)
+    report.corruption = corruption.as_dict()
     print(render_profile(report, timings=not args.no_timings))
     if args.checkpoint:
         from repro.experiments.persistence import read_checkpoint_points
 
-        points = read_checkpoint_points(args.checkpoint)
+        points = read_checkpoint_points(args.checkpoint, tolerant=True)
         problems = reconcile(report, points.values())
         print()
-        if problems:
+        if problems and not corruption.total:
             for problem in problems:
                 print(f"reconciliation MISMATCH: {problem}")
             return 1
+        if corruption.total:
+            # A corrupt trace legitimately under-reports: say exactly
+            # how much was lost instead of failing the reconciliation.
+            print(
+                f"note: {corruption.total} corrupt trace line(s) "
+                f"skipped; counters may under-report"
+            )
+            for problem in problems:
+                print(f"reconciliation gap (corrupt trace): {problem}")
+            return 0
         print(
             f"trace reconciles with {args.checkpoint}: "
             f"cache counters and failure ledger match exactly"
@@ -398,6 +436,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="write a structured JSONL event trace of the run here "
         "(see 'repro profile')",
+    )
+    p_fig.add_argument(
+        "--inject",
+        default="",
+        help="inject deterministic faults from this JSON fault plan "
+        "(chaos testing; see repro.faults)",
     )
     p_fig.set_defaults(func=_cmd_figure)
 

@@ -83,6 +83,37 @@ class ExperimentError(ReproError):
     """Raised for invalid experiment configurations."""
 
 
+class WorkerCrashError(ExperimentError):
+    """Raised when a sweep work unit repeatedly kills its worker process.
+
+    The parallel engine survives worker deaths (pool respawn + unit
+    requeue); a unit that keeps crashing workers past its retry budget
+    is quarantined into the failure ledger with this error type — or,
+    under the ``RAISE`` failure policy, aborts the sweep with this
+    exception.
+    """
+
+
+class FaultPlanError(ReproError):
+    """Raised for invalid fault-injection plans (:mod:`repro.faults`).
+
+    Covers unknown fault sites or modes, malformed trigger predicates,
+    and unreadable ``--inject`` plan files.
+    """
+
+
+class InjectedCrashError(ReproError):
+    """A simulated process crash raised by a fired parent-side fault.
+
+    Stands in for "the process was killed here" at sites where really
+    dying would take the test harness with it (torn checkpoint writes).
+    It derives from :class:`ReproError` so the CLI reports it as a
+    one-line error instead of a traceback, but the experiment engine
+    never catches it: like a real crash, it aborts the run — recovery
+    happens on the next ``--resume``.
+    """
+
+
 class ObservabilityError(ReproError):
     """Raised for invalid trace events, files, or profile operations.
 

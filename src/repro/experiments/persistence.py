@@ -8,11 +8,32 @@ with disjoint seeds combine into one 50-set series.
 
 It also implements the sweep **checkpoint** format: a JSON file keyed
 by a digest of the experiment configuration, holding every completed
-point (including its failure ledger). Checkpoints are written
-atomically — to a temp file in the same directory, then renamed — so a
-kill mid-write can never leave a truncated checkpoint behind, and
-:func:`~repro.experiments.runner.run_experiment` can resume a sweep by
-re-evaluating only the missing points.
+point (including its failure ledger). The format is crash-consistent
+by construction:
+
+* **Durable atomic writes.** Every checkpoint/sweep write goes to a
+  temp file in the target directory, is flushed and ``fsync``\\ ed,
+  renamed over the target with ``os.replace`` (atomic on POSIX), and
+  the containing directory is ``fsync``\\ ed after the rename — so
+  neither a process kill nor a power cut mid-write can leave a
+  truncated target, and a completed rename survives the page cache.
+  Transient filesystem errors are retried with a short bounded backoff
+  before giving up.
+* **Versioned payloads with per-point content digests.** Each stored
+  point carries a SHA-256 digest of its canonical JSON
+  (``checkpoint_version`` 2; version-1 files written by older builds
+  still load, just without per-point verification). A reader can
+  therefore detect a silently garbled point — torn sector, bit rot,
+  a non-atomic writer — and, in tolerant mode, *skip exactly the
+  corrupt points* so a resumed sweep re-solves only those instead of
+  crashing or resuming from garbage.
+* **Stale temp cleanup.** A crash between temp-write and rename leaves
+  a ``*.tmp`` file behind; :func:`cleanup_stale_tmp` removes it on the
+  next run's startup (the target file is still the last good state).
+
+Fault-injection hooks (:mod:`repro.faults`) cover exactly these
+hazards — ``checkpoint.torn``, ``fs.error`` — so the chaos suite can
+prove the recovery paths instead of trusting them.
 """
 
 from __future__ import annotations
@@ -21,16 +42,23 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 from typing import Mapping
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, InjectedCrashError
 from repro.experiments.config import ExperimentConfig, SweepPoint
 from repro.experiments.runner import FailureRecord, PointResult, SweepResult
+from repro.faults import injection as faults
 from repro.generator.taskset_gen import GenerationConfig
+from repro.obs import events as obs
 
 _FORMAT_VERSION = 1
-_CHECKPOINT_VERSION = 1
+_CHECKPOINT_VERSION = 2
+#: Payload versions this build can read (1 = pre-digest format).
+_SUPPORTED_CHECKPOINT_VERSIONS = (1, 2)
+#: Durable-write attempts before a filesystem error is fatal.
+_WRITE_ATTEMPTS = 3
 
 
 def _config_to_dict(config: ExperimentConfig) -> dict:
@@ -95,6 +123,12 @@ def _point_from_dict(raw: dict) -> PointResult:
     )
 
 
+def point_digest(payload: Mapping[str, object]) -> str:
+    """Content digest of one serialised point (checkpoint v2 field)."""
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 def sweep_to_dict(result: SweepResult) -> dict:
     """Plain-dict representation of a sweep result."""
     return {
@@ -115,9 +149,89 @@ def sweep_from_dict(payload: dict) -> SweepResult:
     return SweepResult(config=config, points=points)
 
 
+# ----------------------------------------------------------------------
+# durable filesystem primitives
+# ----------------------------------------------------------------------
+def _fsync_directory(directory: Path) -> None:
+    """Persist a directory entry (the rename) past the page cache.
+
+    Best-effort: some filesystems/platforms refuse to open or fsync a
+    directory — there the rename's durability is whatever the OS
+    gives, which is no worse than before.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _durable_replace(path: Path, text: str) -> None:
+    """Atomically and durably replace ``path``'s content with ``text``.
+
+    temp-write → flush → fsync(file) → ``os.replace`` → fsync(dir),
+    retried up to :data:`_WRITE_ATTEMPTS` times on transient
+    ``OSError`` with a short backoff. Raises
+    :class:`~repro.errors.ExperimentError` when the filesystem keeps
+    failing.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    last_error: OSError | None = None
+    for attempt in range(_WRITE_ATTEMPTS):
+        try:
+            spec = faults.fire("fs.error", op="replace")
+            if spec is not None:
+                raise OSError("injected transient filesystem error")
+            with open(tmp, "w") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            _fsync_directory(path.parent)
+            return
+        except OSError as exc:
+            last_error = exc
+            obs.emit(
+                "checkpoint.retry",
+                attempt=attempt,
+                error=type(exc).__name__,
+                path=str(path),
+            )
+            if attempt < _WRITE_ATTEMPTS - 1:
+                time.sleep(0.01 * 2**attempt)
+    raise ExperimentError(
+        f"cannot write {path} after {_WRITE_ATTEMPTS} attempts: {last_error}"
+    ) from last_error
+
+
+def cleanup_stale_tmp(path: str | Path) -> bool:
+    """Remove a ``*.tmp`` file a crashed prior run left next to ``path``.
+
+    A crash between temp-write and rename leaves the temp file behind
+    while the target still holds the last durable state; the leftover
+    is dead weight (and would shadow debugging), so runs clear it on
+    startup. Returns whether anything was removed.
+    """
+    tmp = Path(path).with_name(Path(path).name + ".tmp")
+    try:
+        tmp.unlink()
+    except FileNotFoundError:
+        return False
+    except OSError:
+        return False
+    return True
+
+
 def save_sweep(result: SweepResult, path: str | Path) -> None:
-    """Write a sweep result to a JSON file."""
-    Path(path).write_text(json.dumps(sweep_to_dict(result), indent=2))
+    """Write a sweep result to a JSON file (durable atomic write)."""
+    _durable_replace(
+        Path(path), json.dumps(sweep_to_dict(result), indent=2)
+    )
 
 
 def load_sweep(path: str | Path) -> SweepResult:
@@ -197,96 +311,210 @@ def config_digest(config: ExperimentConfig) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+def _apply_torn_write(
+    spec: "faults.FaultSpec",
+    path: Path,
+    text: str,
+    payload: dict,
+    point: int | None,
+) -> None:
+    """Simulate a checkpoint write torn mid-flight, then "crash".
+
+    ``lost``: the temp file is written but the rename never happens —
+    the crash signature the atomic-write protocol is designed for.
+    ``truncate``: the target itself ends up holding a truncated payload
+    (what a *non*-atomic writer would leave). ``corrupt_point``: the
+    write completes but one point's payload was silently garbled in
+    flight — caught later by its content digest. All three end in an
+    :class:`~repro.errors.InjectedCrashError` standing in for the
+    process dying at this instant.
+    """
+    if spec.mode == "lost":
+        path.with_name(path.name + ".tmp").write_text(text)
+    elif spec.mode == "truncate":
+        path.write_text(text[: max(1, len(text) // 2)])
+    else:  # corrupt_point: valid JSON, one point's content garbled
+        keys = sorted(payload["points"], key=int)
+        key = str(point) if str(point) in payload["points"] else keys[-1]
+        entry = payload["points"][key]
+        entry["point"] = {**entry["point"], "x": -1.0, "ratios": {}}
+        path.write_text(json.dumps(payload, indent=2))
+    raise InjectedCrashError(
+        f"injected crash: checkpoint write to {path} torn "
+        f"(mode={spec.mode})"
+    )
+
+
 def save_checkpoint(
     path: str | Path,
     config: ExperimentConfig,
     completed: Mapping[int, PointResult],
+    point: int | None = None,
 ) -> None:
-    """Atomically persist the completed points of a sweep.
+    """Atomically and durably persist the completed points of a sweep.
 
-    The payload is written to a temporary file in the target directory
-    and renamed over ``path`` (rename is atomic on POSIX), so readers
-    never observe a partially-written checkpoint.
+    See the module docstring for the durability protocol. ``point`` is
+    the just-completed point index — pure context, used to stamp
+    injected faults and to target ``corrupt_point`` injections; it does
+    not affect what is written.
     """
     path = Path(path)
+    points_payload: dict[str, dict] = {}
+    for index, point_result in sorted(completed.items()):
+        data = _point_to_dict(point_result)
+        points_payload[str(index)] = {
+            "digest": point_digest(data),
+            "point": data,
+        }
     payload = {
         "checkpoint_version": _CHECKPOINT_VERSION,
         "config_digest": config_digest(config),
         "config": _config_to_dict(config),
-        "points": {
-            str(index): _point_to_dict(point)
-            for index, point in sorted(completed.items())
-        },
+        "points": points_payload,
     }
-    tmp = path.with_name(path.name + ".tmp")
+    text = json.dumps(payload, indent=2)
+    spec = faults.fire("checkpoint.torn", point=point)
+    if spec is not None and completed:
+        _apply_torn_write(spec, path, text, payload, point)
+    _durable_replace(path, text)
+
+
+def _read_checkpoint_payload(
+    path: Path, tolerant: bool
+) -> "tuple[dict | None, list[str]]":
+    """Parse a checkpoint file; ``(None, problems)`` when unusable."""
     try:
-        tmp.write_text(json.dumps(payload, indent=2))
-        os.replace(tmp, path)
-    except OSError as exc:
-        raise ExperimentError(f"cannot write checkpoint {path}: {exc}") from exc
+        payload = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError) as exc:
+        message = f"unreadable checkpoint {path}: {exc}"
+        if tolerant:
+            return None, [message]
+        raise ExperimentError(message) from exc
+    version = payload.get("checkpoint_version")
+    if version not in _SUPPORTED_CHECKPOINT_VERSIONS:
+        message = (
+            f"unsupported checkpoint version {version!r} in {path} "
+            f"(supported: {list(_SUPPORTED_CHECKPOINT_VERSIONS)})"
+        )
+        if tolerant:
+            return None, [message]
+        raise ExperimentError(message)
+    return payload, []
+
+
+def _points_from_payload(
+    payload: dict, path: Path, tolerant: bool
+) -> "tuple[dict[int, PointResult], list[str]]":
+    """Decode and digest-verify a payload's points.
+
+    Version-2 entries (``{"digest": ..., "point": {...}}``) are
+    verified against their content digest; version-1 entries are plain
+    point dicts and pass through unverified. In tolerant mode a corrupt
+    point is *skipped* (reported in the problem list) so the caller
+    re-solves exactly the damaged points; in strict mode it raises.
+    """
+    points: dict[int, PointResult] = {}
+    problems: list[str] = []
+    for index, entry in payload.get("points", {}).items():
+        versioned = (
+            isinstance(entry, dict) and "digest" in entry and "point" in entry
+        )
+        data = entry["point"] if versioned else entry
+        if versioned and point_digest(data) != entry["digest"]:
+            message = (
+                f"checkpoint {path}: point {index} failed its content "
+                f"digest — skipping (will be re-solved)"
+            )
+            if not tolerant:
+                raise ExperimentError(message)
+            problems.append(message)
+            continue
+        try:
+            points[int(index)] = _point_from_dict(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            message = (
+                f"checkpoint {path}: point {index} is undecodable "
+                f"({type(exc).__name__}: {exc}) — skipping"
+            )
+            if not tolerant:
+                raise ExperimentError(message) from exc
+            problems.append(message)
+    return points, problems
 
 
 def load_checkpoint(
     path: str | Path,
     config: ExperimentConfig,
     missing_ok: bool = False,
+    tolerant: bool = False,
 ) -> dict[int, PointResult]:
     """Load the completed points of a checkpoint for ``config``.
 
     Raises :class:`ExperimentError` when the file belongs to a
-    different configuration (digest mismatch), is an unsupported
-    version, or is not valid JSON — resuming against the wrong
-    checkpoint would silently mix incompatible samples.
+    different configuration (digest mismatch — resuming against the
+    wrong checkpoint would silently mix incompatible samples), and, in
+    strict mode, when it is unreadable, an unsupported version, or any
+    point fails its content digest. With ``tolerant=True`` unreadable
+    files count as empty and corrupt points are skipped (the resume
+    path then re-solves exactly those); use
+    :func:`load_checkpoint_recovering` to also see what was skipped.
+    """
+    points, _ = load_checkpoint_recovering(
+        path, config, missing_ok=missing_ok, tolerant=tolerant
+    )
+    return points
+
+
+def load_checkpoint_recovering(
+    path: str | Path,
+    config: ExperimentConfig,
+    missing_ok: bool = True,
+    tolerant: bool = True,
+) -> "tuple[dict[int, PointResult], list[str]]":
+    """Like :func:`load_checkpoint`, returning recovery problems too.
+
+    The second element lists every corruption the loader healed around
+    (unreadable file, digest-failed or undecodable points); empty for
+    a pristine checkpoint.
     """
     path = Path(path)
     if not path.exists():
         if missing_ok:
-            return {}
+            return {}, []
         raise ExperimentError(f"checkpoint file not found: {path}")
-    try:
-        payload = json.loads(path.read_text())
-    except json.JSONDecodeError as exc:
-        raise ExperimentError(f"invalid checkpoint JSON in {path}: {exc}") from exc
-    if payload.get("checkpoint_version") != _CHECKPOINT_VERSION:
-        raise ExperimentError(
-            f"unsupported checkpoint version "
-            f"{payload.get('checkpoint_version')!r} in {path}"
-        )
+    payload, problems = _read_checkpoint_payload(path, tolerant)
+    if payload is None:
+        return {}, problems
     expected = config_digest(config)
     found = payload.get("config_digest")
     if found != expected:
+        # Never healed around, even in tolerant mode: a wrong-config
+        # checkpoint is caller error, not corruption.
         raise ExperimentError(
             f"checkpoint {path} belongs to a different experiment "
             f"(config digest {found!r} != {expected!r}); delete it or "
             f"point --checkpoint elsewhere"
         )
-    return {
-        int(index): _point_from_dict(point)
-        for index, point in payload["points"].items()
-    }
+    points, point_problems = _points_from_payload(payload, path, tolerant)
+    return points, problems + point_problems
 
 
-def read_checkpoint_points(path: str | Path) -> dict[int, PointResult]:
+def read_checkpoint_points(
+    path: str | Path, tolerant: bool = False
+) -> dict[int, PointResult]:
     """Load a checkpoint's points without knowing its configuration.
 
     ``repro profile --checkpoint`` reconciles a trace against whatever
     run produced the checkpoint, so unlike :func:`load_checkpoint`
-    there is no expected config to verify the digest against — version
-    and JSON validity are still enforced.
+    there is no expected config to verify the digest against — payload
+    version, JSON validity, and per-point content digests are still
+    enforced (or healed around with ``tolerant=True``).
     """
     path = Path(path)
     if not path.exists():
         raise ExperimentError(f"checkpoint file not found: {path}")
-    try:
-        payload = json.loads(path.read_text())
-    except json.JSONDecodeError as exc:
-        raise ExperimentError(f"invalid checkpoint JSON in {path}: {exc}") from exc
-    if payload.get("checkpoint_version") != _CHECKPOINT_VERSION:
-        raise ExperimentError(
-            f"unsupported checkpoint version "
-            f"{payload.get('checkpoint_version')!r} in {path}"
-        )
-    return {
-        int(index): _point_from_dict(point)
-        for index, point in payload["points"].items()
-    }
+    payload, _ = _read_checkpoint_payload(path, tolerant)
+    if payload is None:
+        return {}
+    points, _ = _points_from_payload(payload, path, tolerant)
+    return points

@@ -24,24 +24,68 @@ path performs), and is the *only* process that touches the checkpoint
 file — one atomic write per completed point, regardless of worker
 count. Both paths open one fresh analysis cache per unit, so the
 surfaced hit/miss counters are deterministic and identical as well.
+
+Worker-crash recovery
+---------------------
+A worker process dying mid-unit (OOM kill, segfaulting native solver,
+injected ``worker.death``) breaks the whole ``ProcessPoolExecutor``:
+every outstanding future raises ``BrokenProcessPool`` and the
+remaining workers are terminated. The engine recovers instead of
+aborting the sweep:
+
+* Workers journal an **in-flight marker file** per unit (created on
+  entry, removed on exit — ``os._exit`` removes nothing, which is the
+  tell). After a breakage the parent reads the markers to find the
+  units that were running when the pool died.
+* Each implicated unit is **requeued with an incremented attempt**, and
+  any unit already carrying a crash is re-run alone in a fresh
+  single-worker pool — a *probe*. A pool shared by many units cannot
+  name its killer (the breakage takes innocent in-flight units down
+  with it); a probe crash is unambiguous.
+* A unit that kills a worker **twice** is quarantined: its task set is
+  regenerated in the parent and a ``WorkerCrashError`` failure is
+  recorded per protocol in the point's ledger (entering the ratios per
+  the :class:`FailurePolicy`; under ``RAISE`` it propagates). Innocent
+  collateral units pass their probe and merge normally, so a single
+  poisoned task set costs exactly its own unit, never the sweep.
+* Pool respawns are bounded (a function of the unit count); an
+  environment that keeps killing workers everywhere fails loudly with
+  an :class:`ExperimentError` rather than looping.
+
+Because workers are deterministic, a re-run of an innocent unit
+returns bit-identical counts, so crash recovery preserves the
+``jobs=1 == jobs=N`` contract — the chaos tests pin exactly that.
+Deterministic fault injection for all of the above lives in
+:mod:`repro.faults` (``run_experiment(..., fault_plan=...)`` /
+``repro figure --inject``).
 """
 
 from __future__ import annotations
 
 import enum
 import os
+import shutil
+import tempfile
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from functools import lru_cache
+from pathlib import Path
 from typing import Callable, Mapping
 
 from repro.analysis.cache import AnalysisCache, cache_scope
 from repro.analysis.interface import AnalysisOptions
 from repro.analysis.schedulability import is_schedulable
-from repro.errors import ExperimentError, ReproError
+from repro.errors import ExperimentError, ReproError, WorkerCrashError
 from repro.experiments.config import ExperimentConfig, SweepPoint
+from repro.faults import injection as faults
+from repro.faults.plan import FaultPlan
 from repro.generator.taskset_gen import GenerationConfig, generate_tasksets
 from repro.model.taskset import TaskSet
 from repro.obs import events as obs
@@ -206,6 +250,7 @@ def _evaluate_unit(
     policy: FailurePolicy,
     options: AnalysisOptions | None,
     recorder: EventRecorder | None = None,
+    death_check: "Callable[[str | None], None] | None" = None,
 ) -> _UnitResult:
     """Evaluate every protocol on one task set, inside a fresh cache scope.
 
@@ -214,7 +259,11 @@ def _evaluate_unit(
     the same cache counters (the scope is per unit in both). With a
     ``recorder`` the unit's analysis events (solves, cache traffic,
     fixpoint iterations, per-protocol verdicts) are buffered and
-    returned on the unit result.
+    returned on the unit result. ``death_check`` is the process-pool
+    path's ``worker.death`` injection hook (called at unit start and
+    before each protocol with the protocol name); it simulates the
+    worker dying at that instant, so it exists only where a real crash
+    could — sequential runs never pass one.
     """
     start = time.perf_counter()
     counts = {protocol: 0 for protocol in config.protocols}
@@ -222,7 +271,11 @@ def _evaluate_unit(
     failures: list[FailureRecord] = []
     scope = obs.recording(recorder) if recorder is not None else nullcontext()
     with scope, cache_scope(AnalysisCache()) as cache:
+        if death_check is not None:
+            death_check(None)
         for protocol in config.protocols:
+            if death_check is not None:
+                death_check(protocol)
             protocol_start = time.perf_counter()
             try:
                 verdict = is_schedulable(
@@ -325,6 +378,7 @@ def run_point(
     failure_policy: FailurePolicy | str = FailurePolicy.COUNT_UNSCHEDULABLE,
     writer: TraceWriter | None = None,
     point_index: int = 0,
+    fault_plan: FaultPlan | None = None,
 ) -> PointResult:
     """Evaluate every protocol on the same task sets at one point.
 
@@ -332,7 +386,11 @@ def run_point(
     policy is ``RAISE``): it is recorded in the point's failure ledger
     and enters the ratio per ``failure_policy``. With a ``writer``,
     each unit's buffered events are appended to the trace as the unit
-    completes, stamped with ``point_index`` and the unit index.
+    completes, stamped with ``point_index`` and the unit index. With a
+    ``fault_plan``, each unit is evaluated under its own injection
+    scope (point/unit context, fresh trigger counters) — the same
+    scoping the parallel workers use, so unit-level fault budgets
+    behave identically in both modes.
     """
     policy = _coerce_policy(failure_policy)
     start = time.perf_counter()
@@ -348,16 +406,24 @@ def run_point(
         )
     units = []
     for index, taskset in enumerate(tasksets):
-        unit = _evaluate_unit(
-            point,
-            config,
-            seed,
-            index,
-            taskset,
-            policy,
-            options,
-            recorder=EventRecorder() if writer is not None else None,
+        unit_scope = (
+            faults.injecting(
+                fault_plan, point=point_index, unit=index, attempt=0
+            )
+            if fault_plan is not None
+            else nullcontext()
         )
+        with unit_scope:
+            unit = _evaluate_unit(
+                point,
+                config,
+                seed,
+                index,
+                taskset,
+                policy,
+                options,
+                recorder=EventRecorder() if writer is not None else None,
+            )
         if writer is not None:
             writer.write_events(unit.events, point=point_index, unit=index)
         units.append(unit)
@@ -383,6 +449,31 @@ def _tasksets_for(
     return tuple(generate_tasksets(generation, count, seed))
 
 
+def _marker_name(point_index: int, taskset_index: int, attempt: int) -> str:
+    return f"{point_index}.{taskset_index}.{attempt}.inflight"
+
+
+def _death_check_for(
+    point_index: int, taskset_index: int
+) -> "Callable[[str | None], None]":
+    """Worker-side ``worker.death`` hook: simulate this process dying."""
+
+    def death_check(protocol: "str | None") -> None:
+        spec = faults.fire("worker.death", protocol=protocol)
+        if spec is None:
+            return
+        if spec.mode == "exit":
+            # A real crash: no exception, no cleanup, no marker unlink —
+            # the pool breaks and the parent must piece it together.
+            os._exit(78)
+        raise RuntimeError(
+            f"injected unexpected worker error "
+            f"(point {point_index}, set {taskset_index})"
+        )
+
+    return death_check
+
+
 def _worker_evaluate(
     config: ExperimentConfig,
     point_index: int,
@@ -390,32 +481,154 @@ def _worker_evaluate(
     options: AnalysisOptions | None,
     policy_value: str,
     trace: bool = False,
+    fault_plan: FaultPlan | None = None,
+    attempt: int = 0,
+    markers_dir: "str | None" = None,
 ) -> "tuple[int, _UnitResult]":
-    """Process-pool entry point: evaluate one (point, task set) unit."""
+    """Process-pool entry point: evaluate one (point, task set) unit.
+
+    With ``markers_dir`` set the worker journals an in-flight marker
+    file for the unit — created before any work, removed on the way
+    out (normal return *and* exception; only a process death skips the
+    ``finally``) — which is how the parent attributes a broken pool to
+    the units that were actually running. With a ``fault_plan`` the
+    evaluation runs under a fresh per-unit injection scope carrying
+    the (point, unit, attempt) context.
+    """
+    marker: Path | None = None
+    if markers_dir is not None:
+        marker = Path(markers_dir) / _marker_name(
+            point_index, taskset_index, attempt
+        )
+        marker.write_text(str(os.getpid()))
+    try:
+        point = config.points[point_index]
+        seed = config.seed + point_index
+        recorder = EventRecorder() if trace else None
+        unit_scope = (
+            faults.injecting(
+                fault_plan,
+                point=point_index,
+                unit=taskset_index,
+                attempt=attempt,
+            )
+            if fault_plan is not None
+            else nullcontext()
+        )
+        with unit_scope:
+            if recorder is not None:
+                recorder.emit("worker.unit", pid=os.getpid())
+                with recorder.span("gen.tasksets", sets=config.sets_per_point):
+                    taskset = _tasksets_for(
+                        point.generation, config.sets_per_point, seed
+                    )[taskset_index]
+            else:
+                taskset = _tasksets_for(
+                    point.generation, config.sets_per_point, seed
+                )[taskset_index]
+            unit = _evaluate_unit(
+                point,
+                config,
+                seed,
+                taskset_index,
+                taskset,
+                FailurePolicy(policy_value),
+                options,
+                recorder=recorder,
+                death_check=(
+                    _death_check_for(point_index, taskset_index)
+                    if fault_plan is not None
+                    else None
+                ),
+            )
+        return point_index, unit
+    finally:
+        if marker is not None:
+            try:
+                marker.unlink()
+            except OSError:
+                pass
+
+
+#: Crashes a single unit may cause before it is quarantined.
+_CRASH_QUARANTINE_AT = 2
+
+
+def _save_checkpoint_traced(
+    checkpoint_path: str,
+    config: ExperimentConfig,
+    completed: "dict[int, PointResult]",
+    point_index: int,
+    writer: TraceWriter | None,
+) -> None:
+    """One atomic checkpoint save, with its obs events on the trace.
+
+    The persistence layer emits through the module-level recorder
+    (retry attempts, injected torn writes); the parent normally has no
+    recorder installed, so one is scoped around the save and flushed
+    to the trace writer in a ``finally`` — fault events must reach the
+    trace even when the injected fault escalates to a simulated crash.
+    """
+    from repro.experiments.persistence import save_checkpoint
+
+    if writer is None:
+        save_checkpoint(checkpoint_path, config, completed, point=point_index)
+        return
+    recorder = EventRecorder()
+    try:
+        with obs.recording(recorder):
+            save_checkpoint(
+                checkpoint_path, config, completed, point=point_index
+            )
+    finally:
+        writer.write_events(recorder.drain(), point=point_index)
+    writer.emit("checkpoint.saved", point=point_index)
+
+
+def _failed_unit(
+    config: ExperimentConfig,
+    point_index: int,
+    taskset_index: int,
+    policy: FailurePolicy,
+    error_type: str,
+    message: str,
+) -> _UnitResult:
+    """Synthetic unit result for work no worker could complete.
+
+    Used for quarantined pool-killer units and for units whose worker
+    kept raising unexpected (non-Repro) exceptions: the parent
+    regenerates the task set — generation is deterministic and cheap
+    next to analysis — so the ledger still carries the digest needed
+    to reproduce the failure offline, and every protocol records one
+    :class:`FailureRecord` entering the ratios per the policy.
+    """
     point = config.points[point_index]
     seed = config.seed + point_index
-    recorder = EventRecorder() if trace else None
-    if recorder is not None:
-        recorder.emit("worker.unit", pid=os.getpid())
-        with recorder.span("gen.tasksets", sets=config.sets_per_point):
-            taskset = _tasksets_for(
-                point.generation, config.sets_per_point, seed
-            )[taskset_index]
-    else:
-        taskset = _tasksets_for(
-            point.generation, config.sets_per_point, seed
-        )[taskset_index]
-    unit = _evaluate_unit(
-        point,
-        config,
-        seed,
-        taskset_index,
-        taskset,
-        FailurePolicy(policy_value),
-        options,
-        recorder=recorder,
+    taskset = _tasksets_for(point.generation, config.sets_per_point, seed)[
+        taskset_index
+    ]
+    count_it = policy is FailurePolicy.COUNT_UNSCHEDULABLE
+    return _UnitResult(
+        taskset_index=taskset_index,
+        counts={protocol: 0 for protocol in config.protocols},
+        attempted={
+            protocol: 1 if count_it else 0 for protocol in config.protocols
+        },
+        failures=tuple(
+            FailureRecord(
+                x=point.x,
+                protocol=protocol,
+                seed=seed,
+                taskset_index=taskset_index,
+                taskset_digest=taskset.digest(),
+                error_type=error_type,
+                message=message,
+            )
+            for protocol in config.protocols
+        ),
+        cache_stats={},
+        elapsed_seconds=0.0,
     )
-    return point_index, unit
 
 
 def _run_experiment_parallel(
@@ -427,6 +640,7 @@ def _run_experiment_parallel(
     completed: "dict[int, PointResult]",
     jobs: int,
     writer: TraceWriter | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> SweepResult:
     """Fan (point, task set) units over a process pool and merge.
 
@@ -438,6 +652,11 @@ def _run_experiment_parallel(
     on their unit results and the parent appends them when a point
     completes, in task-set order, so the aggregate trace content
     matches the sequential run's.
+
+    Worker crashes do not abort the sweep: broken pools are respawned
+    and the implicated units are requeued, probed in isolation, and
+    quarantined into the failure ledger when they keep killing workers
+    (see the module docstring for the full protocol).
     """
     point_started = {
         index: time.perf_counter()
@@ -447,68 +666,224 @@ def _run_experiment_parallel(
     unit_results: dict[int, dict[int, _UnitResult]] = {
         index: {} for index in point_started
     }
-    pending = [
-        (point_index, taskset_index)
+    # Unit key -> next attempt number; removed on success/quarantine.
+    pending: dict[tuple[int, int], int] = {
+        (point_index, taskset_index): 0
         for point_index in sorted(point_started)
         for taskset_index in range(config.sets_per_point)
-    ]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {
-            pool.submit(
-                _worker_evaluate,
-                config,
-                point_index,
-                taskset_index,
-                options,
-                policy.value,
-                writer is not None,
-            )
-            for point_index, taskset_index in pending
-        }
-        while futures:
-            done, futures = wait(futures, return_when=FIRST_COMPLETED)
-            for future in done:
-                try:
-                    point_index, unit = future.result()
-                except BaseException:
-                    # RAISE policy (or an unexpected worker crash):
-                    # drop the queued units so the pool winds down
-                    # promptly instead of draining the whole sweep.
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    raise
-                bucket = unit_results[point_index]
-                bucket[unit.taskset_index] = unit
-                if len(bucket) < config.sets_per_point:
-                    continue
-                result = _merge_units(
-                    config.points[point_index],
-                    config,
-                    list(bucket.values()),
-                    time.perf_counter() - point_started[point_index],
-                )
-                completed[point_index] = result
-                if writer is not None:
-                    for index in sorted(bucket):
-                        writer.write_events(
-                            bucket[index].events,
-                            point=point_index,
-                            unit=index,
-                        )
-                    writer.emit(
-                        "point.end",
-                        dur=result.elapsed_seconds,
-                        point=point_index,
-                        x=result.x,
-                        failures=len(result.failures),
-                    )
-                if checkpoint_path is not None:
-                    from repro.experiments.persistence import save_checkpoint
+    }
+    crash_counts: dict[tuple[int, int], int] = {}
+    respawn_budget = 4 + 2 * len(pending)
+    respawns = 0
 
-                    save_checkpoint(checkpoint_path, config, completed)
-                    if writer is not None:
-                        writer.emit("checkpoint.saved", point=point_index)
-                if progress is not None:
-                    progress(result)
+    def emit(name: str, **kwargs: object) -> None:
+        if writer is not None:
+            writer.emit(name, **kwargs)  # type: ignore[arg-type]
+
+    def emit_synthesized_death(key: "tuple[int, int]", attempt: int) -> None:
+        # The worker's own buffered fault.worker.death event died with
+        # the process; re-derive it from the plan's static predicates
+        # so the trace still proves the injection. (A real, un-injected
+        # crash has no matching spec and emits nothing here.)
+        if writer is None or fault_plan is None:
+            return
+        spec = fault_plan.matching(
+            "worker.death", point=key[0], unit=key[1], attempt=attempt
+        )
+        if spec is not None:
+            writer.emit(
+                "fault.worker.death",
+                point=key[0],
+                unit=key[1],
+                mode=spec.mode,
+                plan=fault_plan.name,
+                synthesized=True,
+            )
+
+    def record_unit(point_index: int, unit: _UnitResult) -> None:
+        key = (point_index, unit.taskset_index)
+        if key not in pending:
+            return  # duplicate of a unit already satisfied
+        del pending[key]
+        bucket = unit_results[point_index]
+        bucket[unit.taskset_index] = unit
+        if len(bucket) < config.sets_per_point:
+            return
+        result = _merge_units(
+            config.points[point_index],
+            config,
+            list(bucket.values()),
+            time.perf_counter() - point_started[point_index],
+        )
+        completed[point_index] = result
+        if writer is not None:
+            for index in sorted(bucket):
+                writer.write_events(
+                    bucket[index].events, point=point_index, unit=index
+                )
+            writer.emit(
+                "point.end",
+                dur=result.elapsed_seconds,
+                point=point_index,
+                x=result.x,
+                failures=len(result.failures),
+            )
+        if checkpoint_path is not None:
+            _save_checkpoint_traced(
+                checkpoint_path, config, completed, point_index, writer
+            )
+        if progress is not None:
+            progress(result)
+
+    def record_crash(
+        key: "tuple[int, int]", attempt: int, error_type: str, message: str
+    ) -> None:
+        """Count one crash/unexpected failure of a pending unit and
+        either requeue it (attempt + 1) or give up on it."""
+        crash_counts[key] = crash_counts.get(key, 0) + 1
+        emit_synthesized_death(key, attempt)
+        if crash_counts[key] < _CRASH_QUARANTINE_AT:
+            pending[key] = attempt + 1
+            emit(
+                "worker.requeued",
+                point=key[0],
+                unit=key[1],
+                attempt=attempt + 1,
+                error=error_type,
+            )
+            return
+        if policy is FailurePolicy.RAISE:
+            raise WorkerCrashError(
+                f"work unit (point {key[0]}, set {key[1]}) failed "
+                f"{crash_counts[key]} worker processes "
+                f"({error_type}: {message}); quarantined"
+            )
+        emit(
+            "worker.quarantined",
+            point=key[0],
+            unit=key[1],
+            crashes=crash_counts[key],
+            error=error_type,
+        )
+        record_unit(
+            key[0],
+            _failed_unit(config, key[0], key[1], policy, error_type, message),
+        )
+
+    def handle_breakage(markers_root: str) -> None:
+        """Attribute a broken pool to its in-flight units via markers."""
+        suspects: list[tuple[tuple[int, int], int]] = []
+        for name in os.listdir(markers_root):
+            if not name.endswith(".inflight"):
+                continue
+            os.unlink(os.path.join(markers_root, name))
+            point_str, unit_str, attempt_str = name[: -len(".inflight")].split(
+                "."
+            )
+            suspects.append(
+                ((int(point_str), int(unit_str)), int(attempt_str))
+            )
+        emit("worker.pool_broken", suspects=len(suspects))
+        for key, attempt in sorted(suspects):
+            if key not in pending:
+                continue  # its result landed before the pool died
+            emit(
+                "worker.crash",
+                point=key[0],
+                unit=key[1],
+                attempt=attempt,
+                crashes=crash_counts.get(key, 0) + 1,
+            )
+            record_crash(
+                key,
+                attempt,
+                "WorkerCrashError",
+                "worker process died while evaluating this task set",
+            )
+        # No markers (a worker died between units, or the filesystem
+        # ate them): nothing to attribute — the respawn budget alone
+        # bounds how often this may repeat.
+
+    markers_root = tempfile.mkdtemp(prefix="repro-inflight-")
+    try:
+        while pending:
+            # Any unit already implicated in a crash is probed alone in
+            # a single-worker pool: if that pool breaks too, the culprit
+            # is unambiguous; innocent collateral units pass the probe.
+            suspect_keys = sorted(
+                key for key in pending if crash_counts.get(key, 0) > 0
+            )
+            if suspect_keys:
+                batch = [suspect_keys[0]]
+                workers = 1
+            else:
+                batch = sorted(pending)
+                workers = min(jobs, len(batch))
+            batch_attempts = {key: pending[key] for key in batch}
+            broke = False
+            pool = ProcessPoolExecutor(max_workers=workers)
+            try:
+                futures = {
+                    pool.submit(
+                        _worker_evaluate,
+                        config,
+                        key[0],
+                        key[1],
+                        options,
+                        policy.value,
+                        writer is not None,
+                        fault_plan,
+                        attempt,
+                        markers_root,
+                    ): (key, attempt)
+                    for key, attempt in batch_attempts.items()
+                }
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        key, attempt = futures.pop(future)
+                        try:
+                            point_index, unit = future.result()
+                        except (KeyboardInterrupt, SystemExit):
+                            # Never swallowed: the user asked to stop.
+                            raise
+                        except BrokenExecutor:
+                            # The pool is dead; every remaining future
+                            # fails the same way. Drain them (their
+                            # units stay pending) and let the marker
+                            # protocol attribute the crash.
+                            broke = True
+                        except ReproError:
+                            # A worker propagated a structured failure
+                            # (RAISE policy, config errors): the sweep
+                            # is meant to abort.
+                            raise
+                        except Exception as exc:
+                            # An unexpected exception escaped a worker.
+                            # Under RAISE it propagates; otherwise it is
+                            # ledgered — never silently dropped.
+                            if policy is FailurePolicy.RAISE:
+                                raise
+                            record_crash(
+                                key, attempt, type(exc).__name__, str(exc)
+                            )
+                        else:
+                            record_unit(point_index, unit)
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+            if broke:
+                respawns += 1
+                if respawns > respawn_budget:
+                    raise ExperimentError(
+                        f"parallel sweep aborted: worker pools kept "
+                        f"breaking ({respawns} respawns for "
+                        f"{len(crash_counts)} implicated units) — the "
+                        f"environment is killing workers faster than "
+                        f"quarantine can isolate them"
+                    )
+                handle_breakage(markers_root)
+    finally:
+        shutil.rmtree(markers_root, ignore_errors=True)
     return SweepResult(
         config=config,
         points=tuple(
@@ -526,6 +901,7 @@ def run_experiment(
     resume: bool = False,
     jobs: int = 1,
     trace_path: "str | None" = None,
+    fault_plan: FaultPlan | None = None,
 ) -> SweepResult:
     """Run a full sweep (all points, all protocols, shared task sets).
 
@@ -539,97 +915,125 @@ def run_experiment(
         failure_policy: How failed taskset/protocol pairs enter the
             ratios (see :class:`FailurePolicy`).
         checkpoint_path: When set, each completed point is persisted
-            there atomically (JSON keyed by a config digest); only the
-            parent process ever writes it.
+            there atomically and durably (JSON keyed by a config
+            digest, per-point content digests, fsync'd temp-and-rename
+            writes); only the parent process ever writes it. Stale
+            ``*.tmp`` leftovers of a crashed prior run are cleaned up
+            on startup.
         resume: Reload ``checkpoint_path`` and skip the points it
             already holds; point ``i`` always uses ``config.seed + i``,
-            so a resumed sweep is bit-identical to an uninterrupted one.
+            so a resumed sweep is bit-identical to an uninterrupted
+            one. The load is tolerant: points that fail their content
+            digest (torn by a crash, bit rot) are dropped — and hence
+            re-solved — instead of aborting the resume; each recovery
+            is surfaced as a ``checkpoint.recovered`` trace event.
         jobs: Worker processes. ``1`` (the default) runs in-process;
             ``N > 1`` fans (point, task set) units over a process pool
-            with bit-identical results (see the module docstring).
+            with bit-identical results (see the module docstring),
+            including across worker crashes.
         trace_path: When set, a structured JSONL event trace of the
             run is written there (see :mod:`repro.obs`). The run id
             stamped on every event is the config digest, so a trace is
             attributable to its checkpoint. Points skipped via
             ``resume`` emit nothing.
+        fault_plan: When set, the run executes under deterministic
+            fault injection (see :mod:`repro.faults`): a run-level
+            scope in the parent covers checkpoint/trace/filesystem
+            sites, and every work unit — worker-side or sequential —
+            gets its own (point, unit, attempt)-scoped activation.
     """
     policy = _coerce_policy(failure_policy)
     if jobs < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
-    completed: dict[int, PointResult] = {}
-    if checkpoint_path is not None and resume:
-        from repro.experiments.persistence import load_checkpoint
+    plan_scope = (
+        faults.injecting(fault_plan) if fault_plan is not None else nullcontext()
+    )
+    with plan_scope:
+        completed: dict[int, PointResult] = {}
+        recovered: list[str] = []
+        if checkpoint_path is not None:
+            from repro.experiments.persistence import cleanup_stale_tmp
 
-        completed = load_checkpoint(checkpoint_path, config, missing_ok=True)
-    writer: TraceWriter | None = None
-    if trace_path is not None:
-        from repro.experiments.persistence import config_digest
+            cleanup_stale_tmp(checkpoint_path)
+        if checkpoint_path is not None and resume:
+            from repro.experiments.persistence import (
+                load_checkpoint_recovering,
+            )
 
-        writer = TraceWriter(trace_path, run_id=config_digest(config)[:12])
-    try:
-        if writer is not None:
-            writer.emit(
-                "run.start",
-                points=len(config.points),
-                sets=config.sets_per_point,
-                jobs=jobs,
-                resumed=len(completed),
+            completed, recovered = load_checkpoint_recovering(
+                checkpoint_path, config
             )
-        run_start = time.perf_counter()
-        if jobs > 1:
-            result = _run_experiment_parallel(
-                config,
-                options,
-                progress,
-                policy,
-                checkpoint_path,
-                completed,
-                jobs,
-                writer=writer,
-            )
+        writer: TraceWriter | None = None
+        if trace_path is not None:
+            from repro.experiments.persistence import config_digest
+
+            writer = TraceWriter(trace_path, run_id=config_digest(config)[:12])
+        try:
             if writer is not None:
                 writer.emit(
-                    "run.end", dur=time.perf_counter() - run_start
+                    "run.start",
+                    points=len(config.points),
+                    sets=config.sets_per_point,
+                    jobs=jobs,
+                    resumed=len(completed),
                 )
-            return result
-        results = []
-        for index, point in enumerate(config.points):
-            if index in completed:
-                result_point = completed[index]
-            else:
-                result_point = run_point(
-                    point,
+                for problem in recovered:
+                    writer.emit("checkpoint.recovered", detail=problem)
+            run_start = time.perf_counter()
+            if jobs > 1:
+                result = _run_experiment_parallel(
                     config,
-                    seed=config.seed + index,
-                    options=options,
-                    failure_policy=policy,
+                    options,
+                    progress,
+                    policy,
+                    checkpoint_path,
+                    completed,
+                    jobs,
                     writer=writer,
-                    point_index=index,
+                    fault_plan=fault_plan,
                 )
-                completed[index] = result_point
                 if writer is not None:
                     writer.emit(
-                        "point.end",
-                        dur=result_point.elapsed_seconds,
-                        point=index,
-                        x=result_point.x,
-                        failures=len(result_point.failures),
+                        "run.end", dur=time.perf_counter() - run_start
                     )
-                if checkpoint_path is not None:
-                    from repro.experiments.persistence import save_checkpoint
-
-                    save_checkpoint(checkpoint_path, config, completed)
+                return result
+            results = []
+            for index, point in enumerate(config.points):
+                if index in completed:
+                    result_point = completed[index]
+                else:
+                    result_point = run_point(
+                        point,
+                        config,
+                        seed=config.seed + index,
+                        options=options,
+                        failure_policy=policy,
+                        writer=writer,
+                        point_index=index,
+                        fault_plan=fault_plan,
+                    )
+                    completed[index] = result_point
                     if writer is not None:
-                        writer.emit("checkpoint.saved", point=index)
-            if progress is not None:
-                progress(result_point)
-            results.append(result_point)
-        if writer is not None:
-            writer.emit("run.end", dur=time.perf_counter() - run_start)
-        return SweepResult(config=config, points=tuple(results))
-    finally:
-        if writer is not None:
-            writer.close()
+                        writer.emit(
+                            "point.end",
+                            dur=result_point.elapsed_seconds,
+                            point=index,
+                            x=result_point.x,
+                            failures=len(result_point.failures),
+                        )
+                    if checkpoint_path is not None:
+                        _save_checkpoint_traced(
+                            checkpoint_path, config, completed, index, writer
+                        )
+                if progress is not None:
+                    progress(result_point)
+                results.append(result_point)
+            if writer is not None:
+                writer.emit("run.end", dur=time.perf_counter() - run_start)
+            return SweepResult(config=config, points=tuple(results))
+        finally:
+            if writer is not None:
+                writer.close()
 
 
 def compare_on_taskset(

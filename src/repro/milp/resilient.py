@@ -30,6 +30,8 @@ so it is injected as a callable by the analysis layer (keeping
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import math
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
@@ -37,6 +39,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.errors import BackendUnavailableError, SolverTimeoutError
+from repro.faults import injection as faults
 from repro.milp.highs import HighsBackend
 from repro.milp.model import MilpBackend, MilpModel
 from repro.milp.relaxation import LpRelaxationBackend
@@ -58,8 +61,17 @@ class ResilienceConfig:
         max_retries: Transient-failure retries of the primary backend
             before the fallback chain is entered.
         backoff_base: First backoff sleep in seconds; attempt ``k``
-            sleeps ``backoff_base * backoff_factor**k``.
+            sleeps ``backoff_base * backoff_factor**k``, capped at
+            ``backoff_max`` and stretched by a deterministic jitter.
         backoff_factor: Exponential backoff multiplier.
+        backoff_max: Hard cap on a single backoff sleep; without it the
+            exponential schedule grows without bound across rungs.
+        backoff_jitter: Jitter fraction in ``[0, 1]``: each sleep is
+            stretched by up to this fraction, derived deterministically
+            from the model name and attempt index (no RNG — worker
+            results must not depend on entropy), so concurrent workers
+            retrying the same transient fault desynchronise while every
+            run's schedule stays reproducible.
         fallback_time_limit: Solver time limit of the dual-bound rung.
         max_degradation: Deepest rung the chain may reach; e.g.
             :attr:`DegradationLevel.LP_RELAXATION` forbids the
@@ -70,6 +82,8 @@ class ResilienceConfig:
     max_retries: int = 2
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
+    backoff_max: float = 1.0
+    backoff_jitter: float = 0.1
     fallback_time_limit: float = 5.0
     max_degradation: DegradationLevel = DegradationLevel.CLOSED_FORM
 
@@ -105,6 +119,8 @@ class ResilientBackend(MilpBackend):
         max_retries: int = 2,
         backoff_base: float = 0.05,
         backoff_factor: float = 2.0,
+        backoff_max: float = 1.0,
+        backoff_jitter: float = 0.1,
         fallback_time_limit: float = 5.0,
         max_degradation: DegradationLevel = DegradationLevel.CLOSED_FORM,
         fallbacks: Sequence[FallbackStep] | None = None,
@@ -116,6 +132,8 @@ class ResilientBackend(MilpBackend):
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self.backoff_jitter = backoff_jitter
         self.fallback_time_limit = fallback_time_limit
         self.max_degradation = max_degradation
         self.closed_form_objective = closed_form_objective
@@ -142,6 +160,8 @@ class ResilientBackend(MilpBackend):
             max_retries=config.max_retries,
             backoff_base=config.backoff_base,
             backoff_factor=config.backoff_factor,
+            backoff_max=config.backoff_max,
+            backoff_jitter=config.backoff_jitter,
             fallback_time_limit=config.fallback_time_limit,
             max_degradation=config.max_degradation,
             closed_form_objective=closed_form_objective,
@@ -183,6 +203,44 @@ class ResilientBackend(MilpBackend):
             extra_options={**self.primary.extra_options, "presolve": False},
         )
 
+    def backoff_delay(self, attempt: int, model_name: str = "") -> float:
+        """Backoff sleep before retry ``attempt + 1``: capped + jittered.
+
+        ``min(backoff_base * backoff_factor**attempt, backoff_max)``
+        stretched by a jitter fraction derived from a hash of
+        ``(model_name, attempt)`` — deterministic (solver retries run
+        inside sweep workers, where entropy is banned) yet spread
+        across models so simultaneous retries decorrelate.
+        """
+        delay = min(
+            self.backoff_base * self.backoff_factor**attempt,
+            self.backoff_max,
+        )
+        if self.backoff_jitter > 0.0:
+            digest = hashlib.sha256(
+                f"{model_name}:{attempt}".encode()
+            ).digest()
+            fraction = int.from_bytes(digest[:8], "big") / 2**64
+            delay *= 1.0 + self.backoff_jitter * fraction
+        return delay
+
+    @staticmethod
+    def _unusable(solution: MilpSolution) -> str | None:
+        """Why a returned solution is garbage, or ``None`` if usable.
+
+        A backend that crashes is easy; a backend that *lies* —
+        reporting OPTIMAL with a NaN/infinite objective — would
+        silently poison the fixpoint. Such solutions are treated
+        exactly like ``ERROR`` statuses: retried, then degraded.
+        """
+        if solution.status is SolveStatus.ERROR:
+            return "status_error"
+        if solution.status.has_solution and not math.isfinite(
+            solution.objective
+        ):
+            return "nonfinite_objective"
+        return None
+
     def _guarded(self, backend: MilpBackend, model: MilpModel) -> MilpSolution:
         """One solve attempt under the wall-clock watchdog.
 
@@ -190,6 +248,21 @@ class ResilientBackend(MilpBackend):
         inside HiGHS); on expiry the thread is abandoned — it cannot be
         killed — and the attempt is reported as a timeout.
         """
+        spec = faults.fire("solver.fault", backend=backend.name)
+        if spec is not None:
+            if spec.mode == "crash":
+                raise BackendUnavailableError(
+                    f"injected solver crash on model {model.name!r}"
+                )
+            if spec.mode == "timeout":
+                raise SolverTimeoutError(
+                    f"injected solver timeout on model {model.name!r}"
+                )
+            return MilpSolution(
+                status=SolveStatus.OPTIMAL,
+                objective=float("nan"),
+                backend="injected-garbage",
+            )
         if self.watchdog_seconds is None:
             return backend.solve(model)
         executor = ThreadPoolExecutor(max_workers=1)
@@ -212,8 +285,24 @@ class ResilientBackend(MilpBackend):
             executor.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
+    def _with_retry_details(
+        self, solution: MilpSolution, backoffs: list[float]
+    ) -> MilpSolution:
+        """Attach the realised retry/backoff schedule to a solution."""
+        if not backoffs:
+            return solution
+        return dataclasses.replace(
+            solution,
+            details={
+                **solution.details,
+                "retries": len(backoffs),
+                "backoff_schedule": tuple(backoffs),
+            },
+        )
+
     def solve(self, model: MilpModel) -> MilpSolution:
         history: list[str] = []
+        backoffs: list[float] = []
 
         for attempt in range(self.max_retries + 1):
             backend = self.primary if attempt == 0 else self._perturbed(attempt)
@@ -228,19 +317,22 @@ class ResilientBackend(MilpBackend):
                     error=type(exc).__name__,
                 )
             else:
-                if solution.status is not SolveStatus.ERROR:
-                    return solution
+                reason = self._unusable(solution)
+                if reason is None:
+                    return self._with_retry_details(solution, backoffs)
                 history.append(
-                    f"attempt {attempt}: status=error from {backend.name!r}"
+                    f"attempt {attempt}: {reason} from {backend.name!r}"
                 )
                 obs.emit(
                     "resilience.retry",
                     model=model.name,
                     attempt=attempt,
-                    error="status_error",
+                    error=reason,
                 )
             if attempt < self.max_retries:
-                self._sleep(self.backoff_base * self.backoff_factor**attempt)
+                delay = self.backoff_delay(attempt, model.name)
+                backoffs.append(delay)
+                self._sleep(delay)
 
         deepest = DegradationLevel.EXACT
         for level, backend in self.fallbacks:
@@ -250,24 +342,30 @@ class ResilientBackend(MilpBackend):
             except (SolverTimeoutError, BackendUnavailableError) as exc:
                 history.append(f"{level.name}: {type(exc).__name__}: {exc}")
                 continue
-            if solution.status is SolveStatus.ERROR:
-                history.append(f"{level.name}: status=error from {backend.name!r}")
+            reason = self._unusable(solution)
+            if reason is not None:
+                history.append(f"{level.name}: {reason} from {backend.name!r}")
                 continue
             obs.emit(
                 "resilience.fallback", model=model.name, level=level.name
             )
-            return dataclasses.replace(solution, degradation=level)
+            return self._with_retry_details(
+                dataclasses.replace(solution, degradation=level), backoffs
+            )
 
         if (
             self.closed_form_objective is not None
             and self.max_degradation >= DegradationLevel.CLOSED_FORM
         ):
             obs.emit("resilience.closed_form", model=model.name)
-            return MilpSolution(
-                status=SolveStatus.TIME_LIMIT,
-                objective=float(self.closed_form_objective()),
-                backend="closed_form",
-                degradation=DegradationLevel.CLOSED_FORM,
+            return self._with_retry_details(
+                MilpSolution(
+                    status=SolveStatus.TIME_LIMIT,
+                    objective=float(self.closed_form_objective()),
+                    backend="closed_form",
+                    degradation=DegradationLevel.CLOSED_FORM,
+                ),
+                backoffs,
             )
 
         error = BackendUnavailableError(

@@ -53,6 +53,11 @@ class MilpSolution:
         degradation: Which rung of the safe-degradation ladder produced
             this solution (:attr:`DegradationLevel.EXACT` unless a
             :class:`repro.milp.ResilientBackend` had to fall back).
+        details: Free-form diagnostics attached by wrapping backends —
+            e.g. the :class:`repro.milp.ResilientBackend` records its
+            retry count and the capped/jittered backoff schedule here
+            (keys ``retries``, ``backoff_schedule``) next to the
+            ``degradation`` level they led to.
     """
 
     status: SolveStatus
@@ -62,6 +67,7 @@ class MilpSolution:
     backend: str = ""
     node_count: int | None = None
     degradation: DegradationLevel = DegradationLevel.EXACT
+    details: Mapping[str, object] = field(default_factory=dict)
 
     def __getitem__(self, var: Var) -> float:
         return self.values[var]

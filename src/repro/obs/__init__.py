@@ -10,11 +10,13 @@ from repro.obs.events import (
     EVENT_VERSION,
     RUNTIME_PREFIXES,
     EventRecorder,
+    TraceCorruption,
     TraceWriter,
     active_recorder,
     emit,
     is_runtime_event,
     read_trace,
+    read_trace_lenient,
     recording,
     require_valid_event,
     span,
@@ -35,6 +37,7 @@ __all__ = [
     "RUNTIME_PREFIXES",
     "EventRecorder",
     "ProfileReport",
+    "TraceCorruption",
     "TraceWriter",
     "active_recorder",
     "aggregate_events",
@@ -43,6 +46,7 @@ __all__ = [
     "is_runtime_event",
     "profile_trace",
     "read_trace",
+    "read_trace_lenient",
     "reconcile",
     "recording",
     "render_profile",

@@ -37,6 +37,7 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Callable, Iterator, Mapping
 
@@ -54,6 +55,7 @@ RUNTIME_PREFIXES = (
     "resilience.",
     "checkpoint.",
     "highs.",
+    "fault.",
 )
 
 #: JSON Schema (draft-07 subset) of one trace event record.
@@ -272,6 +274,8 @@ class TraceWriter:
                 f"cannot open trace file {self.path}: {exc}"
             ) from exc
         self.lines_written = 0
+        #: Lines replaced by an injected ``trace.corrupt`` fault.
+        self.lines_corrupted = 0
 
     def write(
         self,
@@ -290,9 +294,43 @@ class TraceWriter:
         if unit is not None:
             record.setdefault("unit", unit)
         require_valid_event(record, where=str(self.path))
-        self._file.write(
-            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
-        )
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        # Imported lazily: repro.faults emits fault.* events through
+        # this module, so a top-level import would be circular.
+        from repro.faults import injection as faults
+
+        spec = faults.fire("trace.corrupt", point=point, unit=unit)
+        if spec is not None:
+            # Simulate a torn or garbled append: the reader side must
+            # survive it (see read_trace_lenient). A truncated line is
+            # written without its newline — exactly what a crash mid-
+            # write leaves behind at the end of a JSONL file. The
+            # injection itself is recorded first (serialised directly;
+            # going through write() again would re-trigger the fault),
+            # so the trace proves what was injected where.
+            marker: dict = {
+                "v": EVENT_VERSION,
+                "name": "fault.trace.corrupt",
+                "t": self._clock(),
+                "run": self.run_id,
+                "f": {"mode": spec.mode, "name": record.get("name")},
+            }
+            if point is not None:
+                marker["point"] = point
+            if unit is not None:
+                marker["unit"] = unit
+            self._file.write(
+                json.dumps(marker, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+            self.lines_written += 1
+            if spec.mode == "truncate":
+                self._file.write(line[: max(1, len(line) // 2)])
+            else:
+                self._file.write("{corrupt trace line (injected)\n")
+            self.lines_corrupted += 1
+            return
+        self._file.write(line + "\n")
         self.lines_written += 1
 
     def write_events(
@@ -340,12 +378,22 @@ class TraceWriter:
 
 
 def read_trace(path: str | Path) -> list[dict]:
-    """Read and validate every event of a JSONL trace file."""
+    """Read and validate every event of a JSONL trace file.
+
+    Strict: the first corrupt line raises
+    :class:`~repro.errors.ObservabilityError`. Readers that must
+    survive crash-truncated or partially-corrupt traces use
+    :func:`read_trace_lenient` instead.
+    """
     path = Path(path)
     if not path.exists():
         raise ObservabilityError(f"trace file not found: {path}")
     events: list[dict] = []
-    with open(path) as handle:
+    try:
+        handle = open(path)
+    except OSError as exc:
+        raise ObservabilityError(f"cannot read trace {path}: {exc}") from exc
+    with handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
@@ -358,3 +406,89 @@ def read_trace(path: str | Path) -> list[dict]:
                 ) from exc
             events.append(require_valid_event(event, where=f"{path}:{lineno}"))
     return events
+
+
+@dataclass
+class TraceCorruption:
+    """Explicit corruption counters of one lenient trace read.
+
+    Attributes:
+        bad_json: Lines that are not parseable JSON (torn appends,
+            injected garbage). A final line cut mid-record — the
+            classic crash signature — is additionally counted in
+            ``truncated_final``.
+        invalid_schema: Parseable lines whose record violates
+            :data:`EVENT_SCHEMA` (other than the version field).
+        version_mismatch: Records stamped with an event version other
+            than :data:`EVENT_VERSION` (written by a different build).
+        truncated_final: 1 when the file's last line is corrupt —
+            i.e. the trace was torn mid-append by a crash.
+    """
+
+    bad_json: int = 0
+    invalid_schema: int = 0
+    version_mismatch: int = 0
+    truncated_final: int = 0
+
+    @property
+    def total(self) -> int:
+        """Corrupt lines skipped (``truncated_final`` is a subset flag)."""
+        return self.bad_json + self.invalid_schema + self.version_mismatch
+
+    def as_dict(self) -> dict[str, int]:
+        """Nonzero counters only, for compact reporting."""
+        counters = {
+            "bad_json": self.bad_json,
+            "invalid_schema": self.invalid_schema,
+            "version_mismatch": self.version_mismatch,
+            "truncated_final": self.truncated_final,
+        }
+        return {name: value for name, value in counters.items() if value}
+
+
+def read_trace_lenient(
+    path: str | Path,
+) -> tuple[list[dict], TraceCorruption]:
+    """Read a JSONL trace, skipping corrupt lines instead of raising.
+
+    Returns the valid events plus a :class:`TraceCorruption` count of
+    everything skipped, so callers can report exactly how much of the
+    trace was lost — a crash-truncated final line, injected garbage, a
+    schema-version mismatch — rather than dying on it or silently
+    pretending the trace is complete.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ObservabilityError(f"trace file not found: {path}")
+    events: list[dict] = []
+    corruption = TraceCorruption()
+    last_line_bad = False
+    try:
+        handle = open(path)
+    except OSError as exc:
+        raise ObservabilityError(f"cannot read trace {path}: {exc}") from exc
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            last_line_bad = True
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                corruption.bad_json += 1
+                continue
+            if not isinstance(event, dict):
+                corruption.invalid_schema += 1
+                continue
+            if event.get("v") != EVENT_VERSION:
+                corruption.version_mismatch += 1
+                continue
+            if validate_event(event):
+                corruption.invalid_schema += 1
+                continue
+            events.append(event)
+            last_line_bad = False
+    if last_line_bad:
+        corruption.truncated_final = 1
+    return events, corruption

@@ -66,6 +66,10 @@ class ProfileReport:
     solve_durations: list[float] = field(default_factory=list)
     runs: set[str] = field(default_factory=set)
     events_total: int = 0
+    #: Nonzero corruption counters of a lenient trace read (see
+    #: :class:`repro.obs.events.TraceCorruption.as_dict`); empty for a
+    #: clean trace or a strict read.
+    corruption: dict[str, int] = field(default_factory=dict)
 
     @property
     def failures(self) -> int:
@@ -162,6 +166,11 @@ def render_profile(report: ProfileReport, timings: bool = True) -> str:
             lines.append(f"  status={status:<21}{count:>10}")
         for level, count in sorted(report.solve_degradations.items()):
             lines.append(f"  degradation={level:<16}{count:>10}")
+    if report.corruption:
+        lines.append("")
+        lines.append("trace corruption (lines skipped by the lenient reader)")
+        for name, value in sorted(report.corruption.items()):
+            lines.append(f"  {name:<28}{value:>10}")
     if not timings:
         return "\n".join(lines)
     runtime = report.runtime_counts()
@@ -233,11 +242,24 @@ def reconcile(
     return problems
 
 
-def profile_trace(path: str, timings: bool = True) -> str:
-    """Read, validate, aggregate, and render one trace file."""
-    from repro.obs.events import read_trace
+def profile_trace(
+    path: str, timings: bool = True, lenient: bool = False
+) -> str:
+    """Read, validate, aggregate, and render one trace file.
 
-    return render_profile(aggregate_events(read_trace(path)), timings=timings)
+    With ``lenient=True`` corrupt lines are skipped and surfaced as
+    explicit corruption counters in the rendered report instead of
+    aborting the read (the ``repro profile`` behaviour).
+    """
+    from repro.obs.events import read_trace, read_trace_lenient
+
+    if lenient:
+        events, corruption = read_trace_lenient(path)
+        report = aggregate_events(events)
+        report.corruption = corruption.as_dict()
+    else:
+        report = aggregate_events(read_trace(path))
+    return render_profile(report, timings=timings)
 
 
 def compare_profiles(

@@ -1,0 +1,232 @@
+"""Chaos: torn checkpoint writes, fs errors, durable atomic persistence.
+
+The ``checkpoint.torn`` site simulates a crash between temp-write and
+rename (``lost``), a non-atomic writer leaving a truncated target
+(``truncate``), and silent payload garbling caught only by the
+per-point content digests (``corrupt_point``); ``fs.error`` simulates
+transient filesystem failures. Contract: resume after any of them
+re-solves exactly the damaged points and converges to the fault-free
+result.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ExperimentError, InjectedCrashError
+from repro.experiments import ExperimentConfig, SweepPoint, run_experiment
+from repro.experiments.persistence import (
+    cleanup_stale_tmp,
+    config_digest,
+    load_checkpoint,
+    load_checkpoint_recovering,
+    read_checkpoint_points,
+    save_checkpoint,
+)
+from repro.faults import FaultPlan, FaultSpec, injecting
+from repro.generator.taskset_gen import GenerationConfig
+from repro.obs import events as obs
+from repro.obs import read_trace
+
+
+@pytest.fixture
+def config():
+    points = tuple(
+        SweepPoint(u, GenerationConfig(n=3, utilization=u, gamma=0.1))
+        for u in (0.2, 0.4)
+    )
+    return ExperimentConfig(
+        name="chaos-ckpt",
+        x_label="U",
+        points=points,
+        sets_per_point=2,
+        seed=11,
+        method="closed_form",
+    )
+
+
+def _identical(a, b):
+    assert [p.x for p in a.points] == [p.x for p in b.points]
+    for pa, pb in zip(a.points, b.points):
+        assert pa.ratios == pb.ratios
+        assert pa.failures == pb.failures
+        assert dict(pa.analysis_stats) == dict(pb.analysis_stats)
+
+
+class TestDurableWrites:
+    def test_save_fsyncs_file_and_directory(
+        self, config, tmp_path, monkeypatch
+    ):
+        baseline = run_experiment(config)
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1]
+        )
+        save_checkpoint(
+            tmp_path / "c.json", config, {0: baseline.points[0]}
+        )
+        # Once for the temp file, once for the containing directory.
+        assert len(synced) >= 2
+
+    def test_stale_tmp_cleanup(self, tmp_path):
+        path = tmp_path / "c.json"
+        tmp = tmp_path / "c.json.tmp"
+        tmp.write_text("{half-written")
+        assert cleanup_stale_tmp(path) is True
+        assert not tmp.exists()
+        assert cleanup_stale_tmp(path) is False
+
+    def test_run_experiment_cleans_stale_tmp_on_startup(
+        self, config, tmp_path
+    ):
+        path = tmp_path / "c.json"
+        (tmp_path / "c.json.tmp").write_text("{half-written")
+        run_experiment(config, checkpoint_path=str(path))
+        assert not (tmp_path / "c.json.tmp").exists()
+        assert load_checkpoint(path, config).keys() == {0, 1}
+
+    def test_transient_fs_error_is_retried(self, config, tmp_path):
+        baseline = run_experiment(config)
+        plan = FaultPlan(
+            specs=(FaultSpec(site="fs.error", times=2),), name="flaky-fs"
+        )
+        path = tmp_path / "c.json"
+        recorder = obs.EventRecorder()
+        with injecting(plan), obs.recording(recorder):
+            save_checkpoint(path, config, {0: baseline.points[0]})
+        assert load_checkpoint(path, config).keys() == {0}
+        retries = [
+            e for e in recorder.events if e["name"] == "checkpoint.retry"
+        ]
+        assert len(retries) == 2
+
+    def test_persistent_fs_error_fails_loudly(self, config, tmp_path):
+        baseline = run_experiment(config)
+        plan = FaultPlan(
+            specs=(FaultSpec(site="fs.error", times=None),), name="dead-fs"
+        )
+        with injecting(plan):
+            with pytest.raises(ExperimentError, match="cannot write"):
+                save_checkpoint(
+                    tmp_path / "c.json", config, {0: baseline.points[0]}
+                )
+
+
+class TestTornWrites:
+    def _crash_then_resume(self, config, tmp_path, mode, point=None):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="checkpoint.torn", mode=mode, point=point),),
+            name=f"torn-{mode}",
+        )
+        path = tmp_path / "c.json"
+        with pytest.raises(InjectedCrashError, match="torn"):
+            run_experiment(config, checkpoint_path=str(path), fault_plan=plan)
+        return path
+
+    def test_lost_rename_leaves_tmp_and_resumes(self, config, tmp_path):
+        baseline = run_experiment(config)
+        path = self._crash_then_resume(config, tmp_path, "lost")
+        # The crash signature atomic writes are designed for: temp file
+        # on disk, target untouched (here: never created).
+        assert (tmp_path / "c.json.tmp").exists()
+        assert not path.exists()
+        resumed = run_experiment(
+            config, checkpoint_path=str(path), resume=True
+        )
+        _identical(resumed, baseline)
+        assert not (tmp_path / "c.json.tmp").exists()  # startup cleanup
+
+    def test_truncated_target_resumes_from_scratch(self, config, tmp_path):
+        baseline = run_experiment(config)
+        path = self._crash_then_resume(config, tmp_path, "truncate")
+        with pytest.raises(ExperimentError, match="unreadable checkpoint"):
+            load_checkpoint(path, config)
+        resumed = run_experiment(
+            config, checkpoint_path=str(path), resume=True
+        )
+        _identical(resumed, baseline)
+
+    def test_corrupt_point_resolves_only_that_point(self, config, tmp_path):
+        baseline = run_experiment(config)
+        # Tear the write that completes point 1: point 0's entry stays
+        # pristine, point 1's payload no longer matches its digest.
+        path = self._crash_then_resume(config, tmp_path, "corrupt_point", point=1)
+        points, problems = load_checkpoint_recovering(path, config)
+        assert points.keys() == {0}
+        assert len(problems) == 1 and "digest" in problems[0]
+        trace = tmp_path / "resume.jsonl"
+        resumed = run_experiment(
+            config,
+            checkpoint_path=str(path),
+            resume=True,
+            trace_path=str(trace),
+        )
+        _identical(resumed, baseline)
+        events = read_trace(trace)
+        # Only the damaged point was re-solved...
+        assert [e["point"] for e in events if e["name"] == "point.end"] == [1]
+        # ...and the recovery is visible in the trace.
+        assert any(
+            e["name"] == "checkpoint.recovered" for e in events
+        )
+
+
+class TestDigestVerification:
+    def test_strict_load_raises_on_garbled_point(self, config, tmp_path):
+        baseline = run_experiment(config)
+        path = tmp_path / "c.json"
+        save_checkpoint(path, config, {0: baseline.points[0]})
+        payload = json.loads(path.read_text())
+        payload["points"]["0"]["point"]["ratios"] = {"nps": 1.0}
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ExperimentError, match="content digest"):
+            load_checkpoint(path, config)
+        # The tolerant reader heals around exactly that point.
+        assert load_checkpoint(path, config, tolerant=True) == {}
+        assert read_checkpoint_points(path, tolerant=True) == {}
+        with pytest.raises(ExperimentError, match="content digest"):
+            read_checkpoint_points(path)
+
+    def test_wrong_config_digest_never_healed(self, config, tmp_path):
+        import dataclasses
+
+        baseline = run_experiment(config)
+        path = tmp_path / "c.json"
+        save_checkpoint(path, config, {0: baseline.points[0]})
+        other = dataclasses.replace(config, seed=999)
+        with pytest.raises(ExperimentError, match="different experiment"):
+            load_checkpoint_recovering(path, other)
+
+    def test_version_1_checkpoints_still_load(self, config, tmp_path):
+        from repro.experiments.persistence import (
+            _config_to_dict,
+            _point_to_dict,
+        )
+
+        baseline = run_experiment(config)
+        path = tmp_path / "v1.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "checkpoint_version": 1,
+                    "config_digest": config_digest(config),
+                    "config": _config_to_dict(config),
+                    # v1: plain point dicts, no per-point digest.
+                    "points": {"0": _point_to_dict(baseline.points[0])},
+                }
+            )
+        )
+        loaded = load_checkpoint(path, config)
+        assert loaded[0].ratios == baseline.points[0].ratios
+
+    def test_unsupported_version_rejected(self, config, tmp_path):
+        path = tmp_path / "vX.json"
+        path.write_text(
+            json.dumps(
+                {"checkpoint_version": 99, "config_digest": "x", "points": {}}
+            )
+        )
+        with pytest.raises(ExperimentError, match="unsupported checkpoint"):
+            load_checkpoint(path, config)

@@ -120,9 +120,9 @@ class TestParallelCheckpointing:
         writes = []
         original = persistence_module.save_checkpoint
 
-        def counting_save(p, cfg, completed):
+        def counting_save(p, cfg, completed, point=None):
             writes.append(len(completed))
-            return original(p, cfg, completed)
+            return original(p, cfg, completed, point=point)
 
         monkeypatch.setattr(persistence_module, "save_checkpoint", counting_save)
         run_experiment(config, jobs=2, checkpoint_path=str(path))

@@ -98,6 +98,7 @@ class TestRetries:
             max_retries=2,
             backoff_base=0.01,
             backoff_factor=2.0,
+            backoff_jitter=0.0,
             sleep=sleeps.append,
         )
         backend.solve(reference_milp)
