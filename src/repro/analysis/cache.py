@@ -43,25 +43,50 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Iterator, Mapping
+from typing import Iterator, Mapping, Protocol
 
 from repro.model.task import Task
 from repro.model.taskset import TaskSet
 from repro.obs import events as obs
 
+
+class PersistentStoreLike(Protocol):
+    """What the cache needs from an on-disk tier (see store.py)."""
+
+    def fetch(self, digest: str) -> tuple[object | None, bool]:
+        """Return ``(value, corrupted)`` for one digest."""
+
+    def store(self, digest: str, value: object) -> None:
+        """Upsert one digest's value."""
+
 #: Counter names every cache exposes (missing ones read as 0).
+#: ``hits`` counts the in-memory tier; ``persistent.hits`` the on-disk
+#: tier (its ``bump`` events are the ``cache.persistent.*`` trace
+#: family); ``misses`` means neither tier had the digest.
+#: ``milp_warm_starts`` counts fixpoint iterations that reused the
+#: previous iteration's compiled model — either retargeted in place or
+#: squeezed closed by its LP bound without an integer solve.
 COUNTER_NAMES = (
     "hits",
     "misses",
+    "persistent.hits",
+    "persistent.corrupt",
     "milp_solves",
     "lp_solves",
+    "milp_warm_starts",
     "closed_form_screens",
     "lp_screens",
+    "screened_out",
 )
 
 
 class AnalysisCache:
     """Bounded content-addressed memo for per-task analysis results.
+
+    Two tiers: a per-scope in-memory LRU dict, optionally backed by a
+    cross-run/cross-process :class:`repro.analysis.store.PersistentStore`.
+    A persistent hit fills the memory tier, so each digest pays the
+    disk read at most once per scope.
 
     Args:
         capacity: Maximum number of entries kept (least recently used
@@ -71,13 +96,21 @@ class AnalysisCache:
             entries but still counts solves — used by tests and
             benchmarks to measure the uncached (seed) behaviour with
             identical instrumentation.
+        persistent: Optional on-disk tier, consulted on memory misses
+            and written through on :meth:`put`.
     """
 
-    def __init__(self, capacity: int = 50_000, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        capacity: int = 50_000,
+        enabled: bool = True,
+        persistent: "PersistentStoreLike | None" = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.enabled = enabled
+        self.persistent = persistent
         self._entries: OrderedDict[str, object] = OrderedDict()
         self._counters: dict[str, int] = {}
 
@@ -85,26 +118,48 @@ class AnalysisCache:
     # storage
     # ------------------------------------------------------------------
     def get(self, key: str) -> object | None:
-        """Look up a digest, counting the hit or miss."""
+        """Look up a digest in both tiers, counting the hit or miss."""
         if not self.enabled:
             self.bump("misses")
             return None
         entry = self._entries.get(key)
-        if entry is None:
-            self.bump("misses")
-            return None
-        self._entries.move_to_end(key)
-        self.bump("hits")
-        return entry
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.bump("hits")
+            return entry
+        if self.persistent is not None:
+            value, corrupted = self.persistent.fetch(key)
+            if corrupted:
+                # The digest check caught a torn/garbled row: the store
+                # dropped it, we report it, and the caller re-solves.
+                self.bump("persistent.corrupt")
+            if value is not None:
+                self._remember(key, value)
+                self.bump("persistent.hits")
+                return value
+        self.bump("misses")
+        return None
 
-    def put(self, key: str, value: object) -> None:
-        """Store a value under a digest (evicting LRU entries)."""
-        if not self.enabled:
-            return
+    def _remember(self, key: str, value: object) -> None:
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+
+    def put(self, key: str, value: object, persist: bool = True) -> None:
+        """Store a value under a digest (evicting LRU entries).
+
+        With ``persist=False`` the value stays in the memory tier only
+        — used for screening bounds whose floating-point value depends
+        on scope-local batching and therefore must not be shared across
+        work units (the persistent tier only holds values that are a
+        pure function of the digest).
+        """
+        if not self.enabled:
+            return
+        self._remember(key, value)
+        if persist and self.persistent is not None:
+            self.persistent.store(key, value)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -137,8 +192,10 @@ class AnalysisCache:
 
     @property
     def hit_rate(self) -> float:
-        """Hits over lookups (0.0 when nothing was looked up)."""
-        hits = self._counters.get("hits", 0)
+        """Hits (either tier) over lookups (0.0 when none happened)."""
+        hits = self._counters.get("hits", 0) + self._counters.get(
+            "persistent.hits", 0
+        )
         lookups = hits + self._counters.get("misses", 0)
         return hits / lookups if lookups else 0.0
 

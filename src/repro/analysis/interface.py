@@ -31,6 +31,16 @@ class AnalysisOptions:
             values trade tightness for speed, again on the safe side
             because the dual bound is reported.
         convergence_eps: Fixpoint convergence tolerance on the WCRT.
+        screening: Enable the verdict screening cascade (closed-form
+            bounds — vectorised or scalar —, batched LP screens, the
+            deadline-window probe, the LP fixpoint) and the
+            warm-started incremental MILP fixpoint. When ``False``,
+            every exact-MILP verdict is decided by the plain bottom-up
+            fixpoint. Screens only ever *prove* schedulability — a
+            failed screen falls through to the exact solve — and warm
+            starts are value-exact, so verdicts are bit-identical
+            either way; disable only to measure the unscreened
+            baseline (``BENCH_milp.json``).
         resilience: When set, every MILP solve runs through a
             :class:`repro.milp.ResilientBackend` configured from it:
             watchdog, transient-error retries, and the safe-degradation
@@ -43,6 +53,7 @@ class AnalysisOptions:
     time_limit: float | None = None
     mip_rel_gap: float = 0.0
     convergence_eps: float = 1e-6
+    screening: bool = True
     resilience: ResilienceConfig | None = None
 
 

@@ -45,6 +45,7 @@ bound) are documented in DESIGN.md: Constraints 5 and 6 encoded as
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -215,6 +216,51 @@ def build_delay_milp(
             urgent_possible=mode.uses_ls_machinery,
         )
     return _build_windowed(taskset, task, window, mode, n, hp_wcrt)
+
+
+def update_delay_milp(
+    built: DelayMilp,
+    taskset: TaskSet,
+    task: Task,
+    window: Time,
+    hp_wcrt: Mapping[str, Time] | None = None,
+) -> DelayMilp | None:
+    """Retarget an already-built delay MILP to a new window, in place.
+
+    The window enters the windowed formulation *only* through the
+    interval count ``N_i(t)`` (variable structure) and the right-hand
+    sides of the per-task execution budgets (``C7[j]``, higher-priority
+    rows) and the cancellation budget (``CLbudget``). When the new
+    window keeps ``N_i(t)`` unchanged, mutating those row bounds yields
+    a model bit-identical to a fresh :func:`build_delay_milp` at the
+    new window — same variables, same coefficient matrix, same row
+    order and names (audit provenance included) — without re-running
+    any construction Python. Returns ``None`` when the interval count
+    changed and the caller must rebuild.
+    """
+    mode = built.mode
+    if mode is AnalysisMode.LS_CASE_B:
+        return built  # case (b) is window-independent
+    count = (
+        interval_count_ls
+        if mode is AnalysisMode.LS_CASE_A
+        else interval_count_nls
+    )
+    n = count(
+        taskset, task, window, hp_wcrt,
+        urgent_possible=mode.uses_ls_machinery,
+    )
+    if n != built.num_intervals:
+        return None
+    model = built.model
+    for j in taskset.hp(task):
+        model.set_rhs(
+            f"C7[{j.name}]", float(interference_budget(j, window, hp_wcrt))
+        )
+    model.set_rhs(
+        "CLbudget", float(cancellation_budget(taskset, task, window, mode))
+    )
+    return dataclasses.replace(built, window=window)
 
 
 # ----------------------------------------------------------------------

@@ -4,8 +4,9 @@ Subcommands::
 
     repro analyze     <taskset> [--protocol ...]  per-task WCRT bounds
     repro simulate    <taskset> [--protocol ...]  run a simulation + Gantt
-    repro figure      <fig2a..fig2f> [--sets N] [--inject plan.json]
+    repro figure      <fig2a..fig2f> [--sets N] [--cache db.sqlite]
                                                   regenerate a Fig. 2 inset
+    repro cache       stats|gc|clear <db.sqlite>  persistent-cache upkeep
     repro demo                                    the Fig. 1 motivating example
     repro sensitivity <taskset> [--knob ...]      critical scaling factor
     repro metrics     <taskset> [--protocol ...]  simulate + trace metrics
@@ -151,6 +152,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         trace_path=args.trace or None,
         fault_plan=fault_plan,
+        cache_path=args.cache or None,
     )
     if args.trace:
         print(f"trace written to {args.trace}")
@@ -164,6 +166,27 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if args.csv:
         Path(args.csv).write_text(sweep_to_csv(result))
         print(f"CSV written to {args.csv}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.analysis.store import PersistentStore
+
+    store = PersistentStore(args.database)
+    if not store.path.exists():
+        # gc/clear would otherwise create an empty store just to
+        # maintain it; a typo'd path should fail loudly instead.
+        raise ReproError(f"no cache database at {store.path}")
+    if args.action == "stats":
+        for name, value in store.stats().items():
+            print(f"{name:<16}{value}")
+        return 0
+    if args.action == "gc":
+        removed = store.gc(args.keep)
+        print(f"gc: removed {removed} entr(ies), kept {len(store)}")
+        return 0
+    removed = store.clear()
+    print(f"clear: removed {removed} entr(ies)")
     return 0
 
 
@@ -443,7 +466,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject deterministic faults from this JSON fault plan "
         "(chaos testing; see repro.faults)",
     )
+    p_fig.add_argument(
+        "--cache",
+        default="",
+        help="back the analysis cache with this persistent sqlite "
+        "store, shared across runs and --jobs workers (results are "
+        "bit-identical with or without it)",
+    )
     p_fig.set_defaults(func=_cmd_figure)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or prune a persistent analysis cache"
+    )
+    p_cache.add_argument("action", choices=("stats", "gc", "clear"))
+    p_cache.add_argument("database", help="sqlite file written by --cache")
+    p_cache.add_argument(
+        "--keep",
+        type=int,
+        default=100_000,
+        help="entries to retain under 'gc' (most recently written first)",
+    )
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_prof = sub.add_parser(
         "profile",

@@ -66,16 +66,27 @@ def render_sweep_table(result: SweepResult) -> str:
             "(see failure ledger)"
         )
     stats = aggregate_analysis_stats(result.points)
-    lookups = stats.get("hits", 0) + stats.get("misses", 0)
+    memory_hits = stats.get("hits", 0)
+    persistent_hits = stats.get("persistent.hits", 0)
+    lookups = memory_hits + persistent_hits + stats.get("misses", 0)
     if lookups:
-        hit_rate = stats.get("hits", 0) / lookups
+        hit_rate = (memory_hits + persistent_hits) / lookups
+        tiers = f"{memory_hits} memory"
+        if persistent_hits or stats.get("persistent.corrupt", 0):
+            tiers += f" + {persistent_hits} persistent"
+        if stats.get("persistent.corrupt", 0):
+            tiers += f" ({stats['persistent.corrupt']} corrupt dropped)"
         lines.append(
-            f"analysis cache: {stats.get('hits', 0)} hits / {lookups} "
+            f"analysis cache: {tiers} hits / {lookups} "
             f"lookups ({hit_rate:.0%}), "
             f"{stats.get('milp_solves', 0)} MILP + "
             f"{stats.get('lp_solves', 0)} LP solves, "
-            f"{stats.get('closed_form_screens', 0)} closed-form + "
-            f"{stats.get('lp_screens', 0)} LP screens"
+            f"{stats.get('milp_warm_starts', 0)} warm starts"
+        )
+        lines.append(
+            f"screens: {stats.get('closed_form_screens', 0)} closed-form + "
+            f"{stats.get('lp_screens', 0)} LP, "
+            f"{stats.get('screened_out', 0)} integer solves screened out"
         )
     return "\n".join(lines)
 

@@ -81,6 +81,7 @@ from typing import Callable, Mapping
 
 from repro.analysis.cache import AnalysisCache, cache_scope
 from repro.analysis.interface import AnalysisOptions
+from repro.analysis.store import PersistentStore
 from repro.analysis.schedulability import is_schedulable
 from repro.errors import ExperimentError, ReproError, WorkerCrashError
 from repro.experiments.config import ExperimentConfig, SweepPoint
@@ -251,12 +252,16 @@ def _evaluate_unit(
     options: AnalysisOptions | None,
     recorder: EventRecorder | None = None,
     death_check: "Callable[[str | None], None] | None" = None,
+    store: PersistentStore | None = None,
 ) -> _UnitResult:
     """Evaluate every protocol on one task set, inside a fresh cache scope.
 
     Shared by the sequential and the parallel path, so both produce
     the same verdicts, the same failure records in the same order, and
     the same cache counters (the scope is per unit in both). With a
+    ``store`` the unit's fresh memory cache is backed by the shared
+    on-disk tier — the scoping stays per unit either way, which is what
+    keeps the counters deterministic across engines. With a
     ``recorder`` the unit's analysis events (solves, cache traffic,
     fixpoint iterations, per-protocol verdicts) are buffered and
     returned on the unit result. ``death_check`` is the process-pool
@@ -270,7 +275,7 @@ def _evaluate_unit(
     attempted = {protocol: 0 for protocol in config.protocols}
     failures: list[FailureRecord] = []
     scope = obs.recording(recorder) if recorder is not None else nullcontext()
-    with scope, cache_scope(AnalysisCache()) as cache:
+    with scope, cache_scope(AnalysisCache(persistent=store)) as cache:
         if death_check is not None:
             death_check(None)
         for protocol in config.protocols:
@@ -379,6 +384,7 @@ def run_point(
     writer: TraceWriter | None = None,
     point_index: int = 0,
     fault_plan: FaultPlan | None = None,
+    store: PersistentStore | None = None,
 ) -> PointResult:
     """Evaluate every protocol on the same task sets at one point.
 
@@ -423,6 +429,7 @@ def run_point(
                 policy,
                 options,
                 recorder=EventRecorder() if writer is not None else None,
+                store=store,
             )
         if writer is not None:
             writer.write_events(unit.events, point=point_index, unit=index)
@@ -447,6 +454,17 @@ def _tasksets_for(
     the memo amortises the generation over a point's many units.
     """
     return tuple(generate_tasksets(generation, count, seed))
+
+
+@lru_cache(maxsize=8)
+def _store_for(path: str) -> PersistentStore:
+    """Per-process memo of the shared on-disk cache tier.
+
+    Workers receive the database *path*, never a live store (sqlite
+    handles must not cross ``fork``); each process opens its own
+    connection once and reuses it across all its units.
+    """
+    return PersistentStore(path)
 
 
 def _marker_name(point_index: int, taskset_index: int, attempt: int) -> str:
@@ -484,6 +502,7 @@ def _worker_evaluate(
     fault_plan: FaultPlan | None = None,
     attempt: int = 0,
     markers_dir: "str | None" = None,
+    cache_path: "str | None" = None,
 ) -> "tuple[int, _UnitResult]":
     """Process-pool entry point: evaluate one (point, task set) unit.
 
@@ -539,6 +558,9 @@ def _worker_evaluate(
                     _death_check_for(point_index, taskset_index)
                     if fault_plan is not None
                     else None
+                ),
+                store=(
+                    _store_for(cache_path) if cache_path is not None else None
                 ),
             )
         return point_index, unit
@@ -641,6 +663,7 @@ def _run_experiment_parallel(
     jobs: int,
     writer: TraceWriter | None = None,
     fault_plan: FaultPlan | None = None,
+    cache_path: "str | None" = None,
 ) -> SweepResult:
     """Fan (point, task set) units over a process pool and merge.
 
@@ -835,6 +858,7 @@ def _run_experiment_parallel(
                         fault_plan,
                         attempt,
                         markers_root,
+                        cache_path,
                     ): (key, attempt)
                     for key, attempt in batch_attempts.items()
                 }
@@ -902,6 +926,7 @@ def run_experiment(
     jobs: int = 1,
     trace_path: "str | None" = None,
     fault_plan: FaultPlan | None = None,
+    cache_path: "str | None" = None,
 ) -> SweepResult:
     """Run a full sweep (all points, all protocols, shared task sets).
 
@@ -941,6 +966,14 @@ def run_experiment(
             scope in the parent covers checkpoint/trace/filesystem
             sites, and every work unit — worker-side or sequential —
             gets its own (point, unit, attempt)-scoped activation.
+        cache_path: When set, every unit's analysis cache is backed by
+            the persistent sqlite store at this path (see
+            :mod:`repro.analysis.store`), shared across runs, points,
+            and worker processes. Verdicts and ratios are bit-identical
+            with the store enabled, disabled, or pre-populated — the
+            store only changes which tier answers a lookup — and the
+            ``persistent.*`` counters in ``analysis_stats`` surface how
+            much work it saved.
     """
     policy = _coerce_policy(failure_policy)
     if jobs < 1:
@@ -991,12 +1024,16 @@ def run_experiment(
                     jobs,
                     writer=writer,
                     fault_plan=fault_plan,
+                    cache_path=cache_path,
                 )
                 if writer is not None:
                     writer.emit(
                         "run.end", dur=time.perf_counter() - run_start
                     )
                 return result
+            store = (
+                PersistentStore(cache_path) if cache_path is not None else None
+            )
             results = []
             for index, point in enumerate(config.points):
                 if index in completed:
@@ -1011,6 +1048,7 @@ def run_experiment(
                         writer=writer,
                         point_index=index,
                         fault_plan=fault_plan,
+                        store=store,
                     )
                     completed[index] = result_point
                     if writer is not None:

@@ -57,6 +57,11 @@ SITES: dict[str, tuple[str, ...]] = {
     "trace.corrupt": ("truncate", "garbage"),
     # A filesystem call raises a transient OSError.
     "fs.error": ("oserror",),
+    # A persistent-cache row is garbled as it is written; the digest
+    # check on read must detect it, drop the row, and re-solve:
+    #   garbage -> the payload is replaced by non-JSON bytes
+    #   torn    -> only a prefix of the payload reaches the row
+    "cache.corrupt": ("garbage", "torn"),
 }
 
 

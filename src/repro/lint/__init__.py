@@ -12,6 +12,12 @@ Rules
     Every :class:`repro.model.task.Task` attribute read by the MILP
     formulation must be covered by the analysis-cache digest (or be on
     the documented exemption list). See :mod:`repro.lint.cache_key`.
+``cache-key-solver-options``
+    Every :class:`repro.analysis.interface.AnalysisOptions` field must
+    enter ``_solver_signature`` (or carry a written exemption), and
+    the persistent store must define and gate on its
+    ``SCHEMA_VERSION`` — together they keep cross-run cache entries
+    from aliasing across solver configurations or store formats.
 ``worker-determinism``
     No unseeded randomness or wall-clock-dependent values in code
     statically reachable from the process-pool work units. See

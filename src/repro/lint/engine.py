@@ -72,7 +72,10 @@ def load_repo_modules(
 
 
 def _registry() -> dict[str, Rule]:
-    from repro.lint.cache_key import cache_key_completeness_rule
+    from repro.lint.cache_key import (
+        cache_key_completeness_rule,
+        solver_options_rule,
+    )
     from repro.lint.determinism import worker_determinism_rule
     from repro.lint.rules import (
         float_time_equality_rule,
@@ -81,6 +84,7 @@ def _registry() -> dict[str, Rule]:
 
     return {
         "cache-key-completeness": cache_key_completeness_rule,
+        "cache-key-solver-options": solver_options_rule,
         "worker-determinism": worker_determinism_rule,
         "float-time-equality": float_time_equality_rule,
         "mutable-default-argument": mutable_default_rule,

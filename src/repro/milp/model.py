@@ -56,8 +56,10 @@ class MilpModel:
         self._vars: list[Var] = []
         self._names: set[str] = set()
         self._constraints: list[Constraint] = []
+        self._row_index: dict[str, int] = {}
         self._objective: LinExpr = LinExpr()
         self._sense_max = True
+        self._compiled: CompiledMilp | None = None
 
     # ------------------------------------------------------------------
     # variables
@@ -75,6 +77,7 @@ class MilpModel:
         v = Var(name, lower, upper, integer, index=len(self._vars))
         self._vars.append(v)
         self._names.add(name)
+        self._compiled = None
         return v
 
     def binary(self, name: str) -> Var:
@@ -114,7 +117,9 @@ class MilpModel:
             # Auto-number unnamed rows so audit reports and violation
             # listings can reference every constraint.
             constraint.named(f"r{len(self._constraints)}")
+        self._row_index.setdefault(constraint.name, len(self._constraints))
         self._constraints.append(constraint)
+        self._compiled = None
         return constraint
 
     def add_all(self, constraints: Iterable[Constraint], prefix: str = "") -> None:
@@ -130,11 +135,51 @@ class MilpModel:
         """Set a maximisation objective."""
         self._objective = LinExpr.from_(expr)
         self._sense_max = True
+        self._compiled = None
 
     def minimize(self, expr: ExprLike) -> None:
         """Set a minimisation objective."""
         self._objective = LinExpr.from_(expr)
         self._sense_max = False
+        self._compiled = None
+
+    # ------------------------------------------------------------------
+    # incremental updates
+    # ------------------------------------------------------------------
+    def constraint_named(self, name: str) -> Constraint | None:
+        """The first constraint added under ``name``, or ``None``."""
+        index = self._row_index.get(name)
+        return self._constraints[index] if index is not None else None
+
+    def set_rhs(self, name: str, rhs: float) -> bool:
+        """Retarget one named row's right-hand side in place.
+
+        The constraint ``expr <sense> rhs`` is stored normalised as
+        ``expr - rhs <sense> 0``, so only the expression constant moves;
+        the coefficient structure — and hence the row's audit identity —
+        is untouched. A cached compilation is patched in place (no
+        matrix rebuild), which is what makes successive fixpoint
+        iterations on the same interval structure cheap.
+
+        Returns ``False`` when no row of that name exists (a formulation
+        may omit a row whose variable set is empty; retargeting it is
+        then a no-op by construction).
+        """
+        index = self._row_index.get(name)
+        if index is None:
+            return False
+        if not math.isfinite(rhs):
+            raise SolverError(
+                f"{self.name}: non-finite right-hand side {rhs!r} for "
+                f"row {name!r}"
+            )
+        con = self._constraints[index]
+        con.expr.constant = -float(rhs)
+        if self._compiled is not None:
+            lower, upper = con.bounds()
+            self._compiled.row_lower[index] = lower
+            self._compiled.row_upper[index] = upper
+        return True
 
     @property
     def objective(self) -> LinExpr:
@@ -148,7 +193,16 @@ class MilpModel:
     # compilation / solving
     # ------------------------------------------------------------------
     def compile(self) -> CompiledMilp:
-        """Lower the model to matrix form (canonical sense: maximise)."""
+        """Lower the model to matrix form (canonical sense: maximise).
+
+        The compilation is cached: structural edits (new variables or
+        rows, a new objective) invalidate it, while :meth:`set_rhs`
+        patches the cached row-bound arrays in place. Repeated solves
+        of one model — an LP screen followed by the integer solve, or a
+        warm-started fixpoint iteration — therefore compile once.
+        """
+        if self._compiled is not None:
+            return self._compiled
         n = len(self._vars)
         if n == 0:
             raise SolverError("model has no variables")
@@ -187,7 +241,7 @@ class MilpModel:
                     f"constant {con.expr.constant!r}"
                 )
             row_lower[r], row_upper[r] = con.bounds()
-        return CompiledMilp(
+        self._compiled = CompiledMilp(
             objective=c,
             objective_constant=(
                 self._objective.constant
@@ -204,6 +258,7 @@ class MilpModel:
             ),
             variables=tuple(self._vars),
         )
+        return self._compiled
 
     def solve(
         self,

@@ -185,6 +185,36 @@ class TestCommands:
         code = main(["profile", "/nonexistent/trace.jsonl"])
         assert code in (1, 2)
 
+    def test_cache_stats_gc_clear_roundtrip(self, capsys, tmp_path):
+        from repro.analysis.store import PersistentStore
+
+        db = tmp_path / "cache.sqlite"
+        store = PersistentStore(db)
+        for i in range(5):
+            store.store(f"digest-{i}", ("lp", 10.0 + i))
+        store.store("digest-exact", ("milp", 40.25, 6, {"rows": 9}, 0))
+        store.close()
+
+        assert main(["cache", "stats", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "exact_entries" in out
+        assert "schema_version" in out
+
+        assert main(["cache", "gc", str(db), "--keep", "2"]) == 0
+        assert "removed 4" in capsys.readouterr().out
+
+        assert main(["cache", "clear", str(db)]) == 0
+        assert "removed 2" in capsys.readouterr().out
+
+    def test_cache_missing_database_errors(self, capsys, tmp_path):
+        missing = tmp_path / "nope.sqlite"
+        assert main(["cache", "stats", str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err
+        # gc/clear must not create an empty store at a typo'd path.
+        assert main(["cache", "gc", str(missing)]) == 2
+        capsys.readouterr()
+        assert not missing.exists()
+
     def test_demo_runs(self, capsys):
         code = main(["demo"])
         out = capsys.readouterr().out

@@ -7,7 +7,10 @@ from pathlib import Path
 import pytest
 
 from repro.lint import RULES, LintViolation, SourceModule, run_lint
-from repro.lint.cache_key import cache_key_completeness_rule
+from repro.lint.cache_key import (
+    cache_key_completeness_rule,
+    solver_options_rule,
+)
 from repro.lint.determinism import (
     import_edges,
     reachable_modules,
@@ -43,6 +46,7 @@ class TestEngine:
     def test_all_registered_rules_discoverable(self):
         assert set(RULES) == {
             "cache-key-completeness",
+            "cache-key-solver-options",
             "worker-determinism",
             "float-time-equality",
             "mutable-default-argument",
@@ -239,6 +243,62 @@ class TestCacheKeyCompletenessRule:
         from repro.lint.cache_key import EXEMPT_TASK_ATTRS
 
         assert all(reason.strip() for reason in EXEMPT_TASK_ATTRS.values())
+
+
+class TestSolverOptionsRule:
+    def test_real_signature_covers_every_option(self):
+        assert solver_options_rule(load_repo_modules()) == []
+
+    def test_unsigned_new_option_field_fails_lint(self):
+        # Acceptance pin: an AnalysisOptions field the signature does
+        # not read means two runs differing only in it would share
+        # persistent cache entries across runs — the lint must fail.
+        modules = dict(load_repo_modules())
+        options = modules["repro.analysis.interface"]
+        source = Path(options.path).read_text()
+        tampered = source.replace(
+            "class AnalysisOptions:",
+            "class AnalysisOptions:\n    solver_threads: int = 1",
+            1,
+        )
+        modules["repro.analysis.interface"] = SourceModule.parse(
+            options.name, options.path, tampered
+        )
+        violations = solver_options_rule(modules)
+        assert any("solver_threads" in v.message for v in violations)
+
+    def test_dropping_schema_version_gate_fails_lint(self):
+        modules = dict(load_repo_modules())
+        store = modules["repro.analysis.store"]
+        source = Path(store.path).read_text()
+        assert "SCHEMA_VERSION = " in source
+        tampered = source.replace("SCHEMA_VERSION = ", "_SCHEMA_VERSION = ")
+        modules["repro.analysis.store"] = SourceModule.parse(
+            store.name, store.path, tampered
+        )
+        violations = solver_options_rule(modules)
+        assert any("SCHEMA_VERSION" in v.message for v in violations)
+
+    def test_unused_schema_version_fails_lint(self):
+        modules = dict(load_repo_modules())
+        tampered = "SCHEMA_VERSION = 1\n"  # defined but gating nothing
+        modules["repro.analysis.store"] = SourceModule.parse(
+            "repro.analysis.store", "store.py", tampered
+        )
+        violations = solver_options_rule(modules)
+        assert any("never read" in v.message for v in violations)
+
+    def test_missing_module_reports_instead_of_passing(self):
+        modules = dict(load_repo_modules())
+        del modules["repro.analysis.store"]
+        violations = solver_options_rule(modules)
+        assert len(violations) == 1
+        assert "cannot check" in violations[0].message
+
+    def test_exemptions_have_written_justifications(self):
+        from repro.lint.cache_key import EXEMPT_OPTION_FIELDS
+
+        assert all(reason.strip() for reason in EXEMPT_OPTION_FIELDS.values())
 
 
 class TestViolationRendering:
