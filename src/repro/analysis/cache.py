@@ -43,7 +43,7 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Iterator, Mapping, Protocol
+from typing import Callable, Iterator, Mapping, Protocol, TypeVar
 
 from repro.model.task import Task
 from repro.model.taskset import TaskSet
@@ -78,6 +78,38 @@ COUNTER_NAMES = (
     "lp_screens",
     "screened_out",
 )
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def bound_producer(fn: _F) -> _F:
+    """Mark a function as an approved producer of ``("lp", ...)`` entries.
+
+    Screening bounds are *upper* bounds, not optima; a screen entry
+    must never be able to shadow an exact ``("milp", ...)`` verdict.
+    The persistent store enforces that dynamically with rank-ordered
+    upserts, and the ``screen-soundness`` lint rule enforces the
+    *direction* statically: every call that writes an ``("lp", ...)``
+    tuple into a cache/store must sit inside a function carrying this
+    decorator, so new bound producers are an explicit, reviewable act
+    rather than an accident of refactoring. The decorator itself is
+    behaviour-neutral — it only tags the function object.
+    """
+    setattr(fn, "__bound_producer__", True)
+    return fn
+
+
+def _entry_rank(value: object) -> int:
+    """Soundness rank of a cache entry: screens below exact verdicts.
+
+    Mirrors :func:`repro.analysis.store.entry_rank` for the memory
+    tier without importing the sqlite layer: ``("lp", bound)`` screen
+    entries rank below everything else (``("milp", ...)`` tuples and
+    bare solved objectives are exact).
+    """
+    if isinstance(value, tuple) and value and value[0] == "lp":
+        return 1
+    return 2
 
 
 class AnalysisCache:
@@ -156,6 +188,11 @@ class AnalysisCache:
         pure function of the digest).
         """
         if not self.enabled:
+            return
+        existing = self._entries.get(key)
+        if existing is not None and _entry_rank(value) < _entry_rank(existing):
+            # A screening bound never overwrites an exact verdict —
+            # the memory-tier twin of the store's rank-ordered upsert.
             return
         self._remember(key, value)
         if persist and self.persistent is not None:

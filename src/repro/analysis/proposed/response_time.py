@@ -49,6 +49,7 @@ from typing import Callable
 from repro.analysis.cache import (
     AnalysisCache,
     active_cache,
+    bound_producer,
     case_b_key,
     delay_milp_key,
 )
@@ -439,6 +440,7 @@ class ProposedAnalysis:
         )
         return relaxed
 
+    @bound_producer
     def _delay_objective(
         self,
         taskset: TaskSet,
@@ -706,6 +708,7 @@ class ProposedAnalysis:
             return AnalysisMode.LS_CASE_A
         return self._nls_mode
 
+    @bound_producer
     def _screen_taskset(self, taskset: TaskSet) -> None:
         """Run the batched screening tiers once per task set.
 
@@ -791,6 +794,7 @@ class ProposedAnalysis:
             if bound + task.copy_out <= task.deadline + 1e-9:
                 self._lp_proved[(taskset, task.name, mode.value)] = True
 
+    @bound_producer
     def _lp_fixpoint_leq(
         self,
         taskset: TaskSet,

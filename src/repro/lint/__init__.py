@@ -1,10 +1,21 @@
-"""Project invariant linter (AST-based custom rules).
+"""Project invariant linter (flow- and call-graph-aware AST rules).
 
 Generic linters cannot know that this repo's analysis cache must digest
-*every* semantic input of the MILP formulation, or that code reachable
-from the process-pool work units must be deterministic. These rules
-encode exactly those invariants; they run as ``repro lint``, as
-``python tools/lint_rules.py``, and in CI alongside ruff and mypy.
+*every* semantic input of the MILP formulation, that code reachable
+from the process-pool work units must be deterministic, or that every
+``os.replace`` needs an fsync proof. These rules encode exactly those
+invariants; they run as ``repro lint``, as ``python
+tools/lint_rules.py``, and in CI alongside ruff and mypy.
+
+The engine (:mod:`repro.lint.engine`) parses the whole package once
+and hands every rule the full module mapping; the flow-aware rules
+share a :class:`~repro.lint.dataflow.ProjectModel` symbol table, an
+intraprocedural CFG with reaching-definitions and must-precede-call
+analyses (:mod:`repro.lint.dataflow`), and interprocedural literal
+resolution through the call graph (:mod:`repro.lint.callgraph`).
+Findings carry a severity (warnings fail only ``--strict``) and a
+stable fingerprint for baseline suppression; ``repro lint`` can emit
+SARIF for CI annotation.
 
 Rules
 -----
@@ -28,20 +39,52 @@ Rules
     tolerance bug waiting to happen.
 ``mutable-default-argument``
     No mutable default arguments (shared-state aliasing across calls).
+``trace-contract``
+    Every ``emit()``/``span()`` site resolves (through the call
+    graph) to event names declared in ``EVENT_NAMES``, with declared
+    payload keys and literal types; no dead catalogue entries; emit
+    sinks accept the full envelope; ``bump`` counters reconcile with
+    ``COUNTER_NAMES`` and the sweep report. See
+    :mod:`repro.lint.trace_contract`.
+``fork-safety``
+    Nothing pickled across the ``ProcessPoolExecutor`` boundary holds
+    a database connection, open file handle, or unseeded RNG; the
+    module-level scope stacks are only mutated inside
+    ``@contextmanager`` functions. See :mod:`repro.lint.fork_safety`.
+``durable-write``
+    Dataflow proof that every ``os.replace`` is preceded on all paths
+    by an fsync of the source file and followed by a directory sync.
+    See :mod:`repro.lint.durable_write`.
+``screen-soundness``
+    Every producer of ``("lp", bound)`` screening entries carries the
+    ``@bound_producer`` tag, and the store keeps its rank-ordered
+    upsert guards. See :mod:`repro.lint.screen_soundness`.
 """
 
 from repro.lint.engine import (
     RULES,
     LintViolation,
+    LoadedProject,
     SourceModule,
+    load_baseline,
+    load_project,
     load_repo_modules,
     run_lint,
+    suppress_baseline,
+    to_sarif,
+    write_baseline,
 )
 
 __all__ = [
     "RULES",
     "LintViolation",
+    "LoadedProject",
     "SourceModule",
+    "load_baseline",
+    "load_project",
     "load_repo_modules",
     "run_lint",
+    "suppress_baseline",
+    "to_sarif",
+    "write_baseline",
 ]

@@ -1,0 +1,288 @@
+"""Call-graph construction and interprocedural literal resolution.
+
+The trace-contract rule must know which *event names* reach the
+observability sinks, but two of the hottest emitters pass computed
+names — ``obs.emit(f"cache.{name}", ...)`` inside
+:meth:`repro.analysis.cache.AnalysisCache.bump` and
+``obs.emit(f"fault.{site}", ...)`` inside
+:meth:`repro.faults.injection.Injection.fire` — where the dynamic part
+is a plain function parameter. Those resolve exactly: enumerate the
+call sites of the enclosing function (via the
+:class:`~repro.lint.dataflow.ProjectModel` symbol table), substitute
+each site's literal argument, and recurse through forwarding wrappers
+(the module-level ``fire()`` forwards ``site`` into the method; the
+runner's local ``emit()`` closure forwards ``name`` into the writer).
+
+:func:`resolve_string_values` implements that substitution for string
+expressions (constants, two-armed conditionals, f-strings over
+parameters, forwarded parameters); :func:`resolve_keyword_keys` does
+the same for ``**kwargs`` forwarding so payload *keys* survive one
+level of indirection too. Both are over-approximations: they return
+every value any call site can produce, plus an ``unresolved`` flag
+when some production could not be traced to a literal — rules then
+emit a warning instead of guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.dataflow import CallSite, FunctionInfo, ProjectModel
+
+#: Recursion bound for forwarding chains (wrapper -> wrapper -> ...).
+MAX_DEPTH = 4
+
+
+def positional_index(fn: FunctionInfo, param: str) -> int | None:
+    """Index of ``param`` in calls to ``fn`` written as ``fn(a, b)``.
+
+    For methods called as ``obj.m(a, b)`` the bound receiver consumes
+    the first parameter, so the caller-side index shifts down by one.
+    """
+    params = fn.param_names()
+    if param not in params:
+        return None
+    return params.index(param)
+
+
+def argument_for(
+    site: CallSite, fn: FunctionInfo, param: str
+) -> ast.expr | None:
+    """The expression ``site`` passes for ``fn``'s ``param``, if any."""
+    index = positional_index(fn, param)
+    if index is None:
+        return None
+    if fn.is_method and isinstance(site.call.func, ast.Attribute):
+        index -= 1  # ``obj.m(...)``: the receiver fills ``self``
+    for keyword in site.call.keywords:
+        if keyword.arg == param:
+            return keyword.value
+    if 0 <= index < len(site.call.args):
+        arg = site.call.args[index]
+        if isinstance(arg, ast.Starred):
+            return None
+        return arg
+    return None
+
+
+class Resolution:
+    """Accumulator for one interprocedural resolution."""
+
+    def __init__(self) -> None:
+        self.values: set[str] = set()
+        self.unresolved: list[CallSite] = []
+
+    @property
+    def complete(self) -> bool:
+        return not self.unresolved
+
+
+def resolve_string_values(
+    expr: ast.expr,
+    enclosing: FunctionInfo | None,
+    model: ProjectModel,
+    depth: int = MAX_DEPTH,
+    _seen: frozenset[str] = frozenset(),
+) -> Resolution:
+    """Every string value ``expr`` can take, following parameters.
+
+    Handles: string constants; ``a if c else b`` (both arms);
+    f-strings whose formatted parts each resolve; names that are
+    parameters of ``enclosing`` (resolved through its call sites).
+    Anything else lands in ``unresolved``.
+    """
+    result = Resolution()
+    _resolve_into(expr, enclosing, model, depth, _seen, result)
+    return result
+
+
+def _resolve_into(
+    expr: ast.expr,
+    enclosing: FunctionInfo | None,
+    model: ProjectModel,
+    depth: int,
+    seen: frozenset[str],
+    result: Resolution,
+) -> None:
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        result.values.add(expr.value)
+        return
+    if isinstance(expr, ast.IfExp):
+        _resolve_into(expr.body, enclosing, model, depth, seen, result)
+        _resolve_into(expr.orelse, enclosing, model, depth, seen, result)
+        return
+    if isinstance(expr, ast.JoinedStr):
+        _resolve_fstring(expr, enclosing, model, depth, seen, result)
+        return
+    if (
+        isinstance(expr, ast.Name)
+        and enclosing is not None
+        and expr.id in enclosing.param_names()
+    ):
+        _resolve_parameter(
+            enclosing, expr.id, model, depth, seen, result,
+            at=_site_placeholder(expr, enclosing),
+        )
+        return
+    result.unresolved.append(_site_placeholder(expr, enclosing))
+
+
+def _site_placeholder(
+    expr: ast.expr, enclosing: FunctionInfo | None
+) -> CallSite:
+    """Wrap a non-call expression as a :class:`CallSite` for reporting."""
+    call = expr if isinstance(expr, ast.Call) else ast.Call(
+        func=expr, args=[], keywords=[]
+    )
+    if not hasattr(call, "lineno"):
+        ast.copy_location(call, expr)
+    module = enclosing.module if enclosing is not None else "<module>"
+    path = enclosing.path if enclosing is not None else "<unknown>"
+    return CallSite(call=call, enclosing=enclosing, module=module, path=path)
+
+
+def _resolve_fstring(
+    expr: ast.JoinedStr,
+    enclosing: FunctionInfo | None,
+    model: ProjectModel,
+    depth: int,
+    seen: frozenset[str],
+    result: Resolution,
+) -> None:
+    """Resolve an f-string by resolving each formatted part."""
+    part_values: list[list[str]] = []
+    for part in expr.values:
+        if isinstance(part, ast.Constant) and isinstance(part.value, str):
+            part_values.append([part.value])
+        elif isinstance(part, ast.FormattedValue):
+            inner = resolve_string_values(
+                part.value, enclosing, model, depth, seen
+            )
+            if not inner.complete or not inner.values:
+                result.unresolved.append(
+                    _site_placeholder(expr, enclosing)
+                )
+                return
+            part_values.append(sorted(inner.values))
+        else:
+            result.unresolved.append(_site_placeholder(expr, enclosing))
+            return
+    combos = [""]
+    for values in part_values:
+        combos = [prefix + value for prefix in combos for value in values]
+    result.values.update(combos)
+
+
+def _resolve_parameter(
+    fn: FunctionInfo,
+    param: str,
+    model: ProjectModel,
+    depth: int,
+    seen: frozenset[str],
+    result: Resolution,
+    at: CallSite,
+) -> None:
+    """Resolve a parameter through every call site of ``fn``."""
+    key = f"{fn.qualname}:{param}"
+    if key in seen:
+        # A forwarding cycle (wrapper passing the parameter back into
+        # the chain). Name-based site matching already enumerated the
+        # cycle's outside callers on the first visit, so the cycle
+        # itself contributes nothing new — skip it silently.
+        return
+    if depth <= 0:
+        result.unresolved.append(at)
+        return
+    sites = model.sites_calling(fn)
+    if not sites:
+        result.unresolved.append(at)
+        return
+    for site in sites:
+        arg = argument_for(site, fn, param)
+        if arg is None:
+            result.unresolved.append(site)
+            continue
+        _resolve_into(
+            arg, site.enclosing, model, depth - 1, seen | {key}, result
+        )
+
+
+def resolve_keyword_keys(
+    call: ast.Call,
+    enclosing: FunctionInfo | None,
+    model: ProjectModel,
+    depth: int = MAX_DEPTH,
+    _seen: frozenset[str] = frozenset(),
+) -> Resolution:
+    """Every keyword-argument *name* a call can pass.
+
+    Literal keywords contribute their names; ``**fields`` where
+    ``fields`` is the enclosing function's ``**kwargs`` parameter is
+    resolved through that function's call sites (their extra keywords
+    — the ones not captured by a named parameter — are what the
+    dictionary forwards). Other ``**`` expansions are unresolved.
+    """
+    result = Resolution()
+    for keyword in call.keywords:
+        if keyword.arg is not None:
+            result.values.add(keyword.arg)
+            continue
+        value = keyword.value
+        if (
+            isinstance(value, ast.Name)
+            and enclosing is not None
+            and value.id == enclosing.kwargs_param()
+        ):
+            _resolve_forwarded_kwargs(
+                enclosing, model, depth, _seen, result
+            )
+        else:
+            result.unresolved.append(
+                CallSite(
+                    call=call,
+                    enclosing=enclosing,
+                    module=enclosing.module if enclosing else "<module>",
+                    path=enclosing.path if enclosing else "<unknown>",
+                )
+            )
+    return result
+
+
+def _resolve_forwarded_kwargs(
+    fn: FunctionInfo,
+    model: ProjectModel,
+    depth: int,
+    seen: frozenset[str],
+    result: Resolution,
+) -> None:
+    key = f"{fn.qualname}:**"
+    if key in seen:
+        return  # forwarding cycle: outside callers already enumerated
+    if depth <= 0:
+        result.unresolved.append(
+            CallSite(
+                call=ast.Call(func=ast.Name(id=fn.name), args=[], keywords=[]),
+                enclosing=fn,
+                module=fn.module,
+                path=fn.path,
+            )
+        )
+        return
+    named = set(fn.param_names())
+    for site in model.sites_calling(fn):
+        for keyword in site.call.keywords:
+            if keyword.arg is not None:
+                if keyword.arg not in named:
+                    result.values.add(keyword.arg)
+                continue
+            inner = keyword.value
+            if (
+                isinstance(inner, ast.Name)
+                and site.enclosing is not None
+                and inner.id == site.enclosing.kwargs_param()
+            ):
+                _resolve_forwarded_kwargs(
+                    site.enclosing, model, depth - 1, seen | {key}, result
+                )
+            else:
+                result.unresolved.append(site)

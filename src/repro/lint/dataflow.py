@@ -1,0 +1,654 @@
+"""Flow-aware analysis core: symbol table, CFG, dataflow facts.
+
+The PR 3 linter correlates whole trees; the rules added on top of this
+module reason about *paths*: whether an ``os.fsync`` executes on every
+path before an ``os.replace``, which assignments can reach the value
+handed to ``cache.put``, which classes a process-pool submission can
+drag across the pickle boundary. Three layers provide that:
+
+* :class:`ProjectModel` — a symbol table over the parsed module set:
+  every function/method with a stable qualified name, every class,
+  every call site paired with its enclosing function. Built once per
+  module mapping and shared by all flow-aware rules.
+* :func:`build_cfg` — an intraprocedural control-flow graph over a
+  function body. Compound statements contribute only their *header*
+  expressions to a block (bodies get their own blocks), ``try``
+  handlers are entered conservatively with the state at try entry,
+  and loop bodies may execute zero times.
+* :class:`FunctionFlow` — the two dataflow analyses the rules need:
+  **reaching definitions** (which assignments/with-bindings can define
+  a name at a statement; a forward may-analysis) and **must-precede
+  calls** (which call expressions have executed on *every* path before
+  a statement; a forward must-analysis).
+
+Everything here is deliberately intraprocedural; interprocedural
+questions (literal argument values, forwarded ``**kwargs``) live in
+:mod:`repro.lint.callgraph`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.lint.engine import SourceModule
+
+
+def dotted(node: ast.expr) -> str | None:
+    """Render an ``a.b.c`` attribute chain; ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> str | None:
+    """Dotted name of a call's target; ``None`` for computed targets."""
+    return dotted(call.func)
+
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method with its location in the project."""
+
+    qualname: str  #: ``module:Class.name`` or ``module:name``
+    name: str
+    module: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: str | None  #: enclosing class name, ``None`` for plain functions
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+    def param_names(self) -> list[str]:
+        """Positional/keyword parameter names, in signature order."""
+        args = self.node.args
+        return [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+
+    def kwargs_param(self) -> str | None:
+        """Name of the ``**kwargs`` parameter, if any."""
+        kwarg = self.node.args.kwarg
+        return kwarg.arg if kwarg is not None else None
+
+    def decorated_with(self, name: str) -> bool:
+        """Whether any decorator is ``name`` or ``*.name``."""
+        for deco in self.node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            if isinstance(target, ast.Name) and target.id == name:
+                return True
+            if isinstance(target, ast.Attribute) and target.attr == name:
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression and the function (if any) containing it."""
+
+    call: ast.Call
+    enclosing: FunctionInfo | None
+    module: str
+    path: str
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class definition with its location in the project."""
+
+    name: str
+    module: str
+    path: str
+    node: ast.ClassDef
+
+
+class ProjectModel:
+    """Symbol table over one parsed module set.
+
+    Attributes:
+        functions: Qualified name -> :class:`FunctionInfo`.
+        by_name: Bare function name -> every definition of it.
+        classes: Class name -> every definition of it.
+        calls: Every call expression in the project with its context.
+    """
+
+    def __init__(self, modules: Mapping[str, SourceModule]) -> None:
+        self.modules = modules
+        self.functions: dict[str, FunctionInfo] = {}
+        self.by_name: dict[str, list[FunctionInfo]] = {}
+        self.classes: dict[str, list[ClassInfo]] = {}
+        self.calls: list[CallSite] = []
+        for module in modules.values():
+            self._index_module(module)
+
+    def _index_module(self, module: SourceModule) -> None:
+        def collect(expr: ast.expr, enclosing: FunctionInfo | None) -> None:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Call):
+                    self.calls.append(
+                        CallSite(node, enclosing, module.name, module.path)
+                    )
+
+        def visit(
+            nodes: list[ast.stmt],
+            cls: str | None,
+            enclosing: FunctionInfo | None,
+        ) -> None:
+            for node in nodes:
+                if isinstance(node, _FUNCTION_NODES):
+                    qual = node.name if cls is None else f"{cls}.{node.name}"
+                    info = FunctionInfo(
+                        qualname=f"{module.name}:{qual}",
+                        name=node.name,
+                        module=module.name,
+                        path=module.path,
+                        node=node,
+                        cls=cls,
+                    )
+                    self.functions[info.qualname] = info
+                    self.by_name.setdefault(node.name, []).append(info)
+                    # Decorators and defaults evaluate in the enclosing
+                    # scope, not inside the function being defined.
+                    for expr in node.decorator_list + node.args.defaults:
+                        collect(expr, enclosing)
+                    for default in node.args.kw_defaults:
+                        if default is not None:
+                            collect(default, enclosing)
+                    visit(node.body, None, info)
+                elif isinstance(node, ast.ClassDef):
+                    self.classes.setdefault(node.name, []).append(
+                        ClassInfo(node.name, module.name, module.path, node)
+                    )
+                    for expr in node.decorator_list + node.bases:
+                        collect(expr, enclosing)
+                    visit(node.body, node.name, enclosing)
+                else:
+                    # Each call is collected exactly once: compound
+                    # statements contribute only their header here and
+                    # their bodies through the recursion below.
+                    for expr in _shallow_expressions(node):
+                        collect(expr, enclosing)
+                    for body in _statement_bodies(node):
+                        visit(body, cls, enclosing)
+
+        visit(module.tree.body, None, None)
+
+    def sites_calling(self, fn: FunctionInfo) -> list[CallSite]:
+        """Call sites that may target ``fn``, resolved by name.
+
+        A ``Name`` call matches same-module definitions; an
+        ``x.name``/``self.name`` attribute call matches every
+        definition of ``name`` anywhere (the attribute receiver is not
+        type-resolved — callers must tolerate over-approximation).
+        """
+        sites: list[CallSite] = []
+        for site in self.calls:
+            func = site.call.func
+            if isinstance(func, ast.Name) and func.id == fn.name:
+                if site.module == fn.module:
+                    sites.append(site)
+            elif isinstance(func, ast.Attribute) and func.attr == fn.name:
+                sites.append(site)
+        return sites
+
+    def class_named(self, name: str) -> ClassInfo | None:
+        defs = self.classes.get(name)
+        return defs[0] if defs else None
+
+
+def _statement_bodies(node: ast.stmt) -> list[list[ast.stmt]]:
+    """Statement lists nested directly inside a compound statement."""
+    bodies: list[list[ast.stmt]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        value = getattr(node, attr, None)
+        if isinstance(value, list) and value and isinstance(
+            value[0], ast.stmt
+        ):
+            bodies.append(value)
+    for handler in getattr(node, "handlers", []):
+        bodies.append(handler.body)
+    return bodies
+
+
+_MODEL_CACHE: list[tuple[Mapping[str, SourceModule], ProjectModel]] = []
+
+
+def project_model(modules: Mapping[str, SourceModule]) -> ProjectModel:
+    """Build (or reuse) the :class:`ProjectModel` for a module set.
+
+    ``run_lint`` hands every rule the same mapping object; caching on
+    identity lets each flow-aware rule share one symbol table.
+    """
+    for cached_modules, model in _MODEL_CACHE:
+        if cached_modules is modules:
+            return model
+    model = ProjectModel(modules)
+    _MODEL_CACHE.append((modules, model))
+    del _MODEL_CACHE[:-4]
+    return model
+
+
+# ----------------------------------------------------------------------
+# control-flow graph
+# ----------------------------------------------------------------------
+@dataclass
+class Block:
+    """One basic block: straight-line statements plus successor ids."""
+
+    statements: list[ast.stmt] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+
+
+_EXIT = -1  #: virtual exit block id used during construction
+
+
+class _CfgBuilder:
+    def __init__(self) -> None:
+        self.blocks: list[Block] = [Block()]
+        self.current = 0
+        #: (continue-target, break-target) per enclosing loop
+        self.loops: list[tuple[int, int]] = []
+
+    def new_block(self) -> int:
+        self.blocks.append(Block())
+        return len(self.blocks) - 1
+
+    def edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].successors:
+            self.blocks[src].successors.append(dst)
+
+    def build(self, statements: list[ast.stmt]) -> None:
+        for stmt in statements:
+            if self.current == _EXIT:
+                return  # unreachable code after return/raise/break
+            self.statement(stmt)
+
+    def statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self.blocks[self.current].statements.append(stmt)
+            before = self.current
+            join = self.new_block()
+            for branch in (stmt.body, stmt.orelse):
+                if not branch:
+                    self.edge(before, join)
+                    continue
+                entry = self.new_block()
+                self.edge(before, entry)
+                self.current = entry
+                self.build(branch)
+                if self.current != _EXIT:
+                    self.edge(self.current, join)
+            self.current = join
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self.blocks[self.current].statements.append(stmt)
+            header = self.new_block()
+            self.edge(self.current, header)
+            join = self.new_block()  # first block after the whole loop
+            body = self.new_block()
+            self.edge(header, body)
+            self.loops.append((header, join))  # break skips any orelse
+            self.current = body
+            self.build(stmt.body)
+            if self.current != _EXIT:
+                self.edge(self.current, header)
+            self.loops.pop()
+            if stmt.orelse:
+                orelse_entry = self.new_block()
+                self.edge(header, orelse_entry)  # normal (non-break) exit
+                self.current = orelse_entry
+                self.build(stmt.orelse)
+                if self.current != _EXIT:
+                    self.edge(self.current, join)
+            else:
+                self.edge(header, join)  # zero iterations / normal exit
+            self.current = join
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # ``with`` neither branches nor (here) swallows exceptions:
+            # the item expressions run, then the body, in line.
+            self.blocks[self.current].statements.append(stmt)
+            self.build(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.blocks[self.current].statements.append(stmt)
+            before = self.current
+            join = self.new_block()
+            body_entry = self.new_block()
+            self.edge(before, body_entry)
+            self.current = body_entry
+            self.build(stmt.body)
+            body_exit = self.current
+            if stmt.orelse and body_exit != _EXIT:
+                self.build(stmt.orelse)
+                body_exit = self.current
+            # Handlers are entered with the facts of try *entry*: an
+            # exception may fire before any body statement completes.
+            handler_exits: list[int] = []
+            for handler in stmt.handlers:
+                entry = self.new_block()
+                self.edge(before, entry)
+                self.current = entry
+                self.build(handler.body)
+                handler_exits.append(self.current)
+            if stmt.finalbody:
+                final = self.new_block()
+                if body_exit != _EXIT:
+                    self.edge(body_exit, final)
+                for exit_id in handler_exits:
+                    if exit_id != _EXIT:
+                        self.edge(exit_id, final)
+                self.current = final
+                self.build(stmt.finalbody)
+                if self.current != _EXIT:
+                    self.edge(self.current, join)
+            else:
+                if body_exit != _EXIT:
+                    self.edge(body_exit, join)
+                for exit_id in handler_exits:
+                    if exit_id != _EXIT:
+                        self.edge(exit_id, join)
+            self.current = join
+        elif isinstance(stmt, (ast.Return, ast.Raise)):
+            self.blocks[self.current].statements.append(stmt)
+            self.current = _EXIT
+        elif isinstance(stmt, ast.Break):
+            if self.loops:
+                self.edge(self.current, self.loops[-1][1])
+            self.current = _EXIT
+        elif isinstance(stmt, ast.Continue):
+            if self.loops:
+                self.edge(self.current, self.loops[-1][0])
+            self.current = _EXIT
+        elif isinstance(stmt, _FUNCTION_NODES + (ast.ClassDef,)):
+            # Nested definitions are opaque statements here; their
+            # bodies are analysed as their own functions.
+            self.blocks[self.current].statements.append(stmt)
+        else:
+            self.blocks[self.current].statements.append(stmt)
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[Block]:
+    """Basic blocks of a function body (block 0 is the entry)."""
+    builder = _CfgBuilder()
+    builder.build(fn.body)
+    return builder.blocks
+
+
+def _shallow_expressions(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """Expressions a statement evaluates *itself* (not nested bodies).
+
+    For compound statements only the header runs when the block
+    executes the statement — ``if c:`` evaluates ``c``, the branches
+    are separate blocks — so facts must come from the header alone.
+    """
+    if isinstance(stmt, ast.If):
+        yield stmt.test
+    elif isinstance(stmt, ast.While):
+        yield stmt.test
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield stmt.iter
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield item.context_expr
+    elif isinstance(stmt, ast.Try):
+        return
+    elif isinstance(stmt, _FUNCTION_NODES + (ast.ClassDef,)):
+        return
+    else:
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                yield child
+
+
+def shallow_calls(stmt: ast.stmt) -> list[ast.Call]:
+    """Call expressions a statement itself evaluates."""
+    calls: list[ast.Call] = []
+    for expr in _shallow_expressions(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                calls.append(node)
+    return calls
+
+
+def _shallow_definitions(stmt: ast.stmt) -> list[tuple[str, ast.AST]]:
+    """(name, value-node) pairs a statement itself binds."""
+    defs: list[tuple[str, ast.AST]] = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            for name in _target_names(target):
+                defs.append((name, stmt.value))
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        for name in _target_names(stmt.target):
+            defs.append((name, stmt.value))
+    elif isinstance(stmt, ast.AugAssign):
+        for name in _target_names(stmt.target):
+            defs.append((name, stmt))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        for name in _target_names(stmt.target):
+            defs.append((name, stmt.iter))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                for name in _target_names(item.optional_vars):
+                    defs.append((name, item.context_expr))
+    return defs
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+class FunctionFlow:
+    """Reaching definitions + must-precede calls of one function."""
+
+    def __init__(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.fn = fn
+        self.cfg = build_cfg(fn)
+        #: id(expression-node) -> enclosing top-level statement
+        self._stmt_of: dict[int, ast.stmt] = {}
+        for block in self.cfg:
+            for stmt in block.statements:
+                for expr in _shallow_expressions(stmt):
+                    for node in ast.walk(expr):
+                        self._stmt_of[id(node)] = stmt
+        self._must = self._compute_must()
+        self._reach = self._compute_reaching()
+
+    # -- queries -------------------------------------------------------
+    def statement_of(self, node: ast.AST) -> ast.stmt | None:
+        """Top-level statement whose header evaluates ``node``."""
+        return self._stmt_of.get(id(node))
+
+    def must_precede_calls(self, stmt: ast.stmt) -> list[ast.Call]:
+        """Calls executed on *every* path before ``stmt`` runs.
+
+        Facts are keyed by the call's syntactic form, so the same
+        call written in both branches of an ``if`` still counts as
+        executing on every path; all nodes sharing a surviving form
+        are returned.
+        """
+        facts = self._must.get(id(stmt))
+        if facts is None:
+            return []
+        calls: list[ast.Call] = []
+        for key in facts:
+            calls.extend(self._calls_by_key[key])
+        return calls
+
+    def reaching(self, stmt: ast.stmt, name: str) -> list[ast.AST]:
+        """Value nodes whose binding of ``name`` can reach ``stmt``."""
+        table = self._reach.get(id(stmt), {})
+        return [self._def_by_id[i] for i in table.get(name, frozenset())]
+
+    def calls_after(self, stmt: ast.stmt) -> list[ast.Call]:
+        """Calls in statements lexically after ``stmt`` in this body.
+
+        A deliberate approximation of "on the success path": used for
+        follow-up obligations (directory fsync after a rename) where
+        the preceding statement already proved the happy path.
+        """
+        calls: list[ast.Call] = []
+        for block in self.cfg:
+            for other in block.statements:
+                if other.lineno > stmt.lineno:
+                    calls.extend(shallow_calls(other))
+        return calls
+
+    # -- analyses ------------------------------------------------------
+    def _compute_must(self) -> dict[int, frozenset[str]]:
+        self._calls_by_key: dict[str, list[ast.Call]] = {}
+        gen: list[list[frozenset[str]]] = []
+        universe: set[str] = set()
+        for block in self.cfg:
+            row: list[frozenset[str]] = []
+            for stmt in block.statements:
+                keys: set[str] = set()
+                for call in shallow_calls(stmt):
+                    key = ast.dump(call)
+                    keys.add(key)
+                    self._calls_by_key.setdefault(key, []).append(call)
+                facts = frozenset(keys)
+                universe.update(facts)
+                row.append(facts)
+            gen.append(row)
+
+        preds: list[list[int]] = [[] for _ in self.cfg]
+        for index, block in enumerate(self.cfg):
+            for succ in block.successors:
+                preds[succ].append(index)
+
+        full = frozenset(universe)
+        out: list[frozenset[str]] = [full] * len(self.cfg)
+        out[0] = self._block_out(0, frozenset(), gen)
+        changed = True
+        while changed:
+            changed = False
+            for index in range(len(self.cfg)):
+                if index == 0:
+                    inset: frozenset[str] = frozenset()
+                elif preds[index]:
+                    inset = frozenset.intersection(
+                        *(out[p] for p in preds[index])
+                    )
+                else:
+                    inset = full  # unreachable: keep vacuous truth
+                new_out = self._block_out(index, inset, gen)
+                if new_out != out[index]:
+                    out[index] = new_out
+                    changed = True
+
+        result: dict[int, frozenset[str]] = {}
+        for index, block in enumerate(self.cfg):
+            if index == 0:
+                acc: frozenset[str] = frozenset()
+            elif preds[index]:
+                acc = frozenset.intersection(*(out[p] for p in preds[index]))
+            else:
+                acc = frozenset()
+            for position, stmt in enumerate(block.statements):
+                result[id(stmt)] = acc
+                acc = acc | gen[index][position]
+        return result
+
+    @staticmethod
+    def _block_out(
+        index: int,
+        inset: frozenset[str],
+        gen: list[list[frozenset[str]]],
+    ) -> frozenset[str]:
+        acc = inset
+        for facts in gen[index]:
+            acc = acc | facts
+        return acc
+
+    def _compute_reaching(self) -> dict[int, dict[str, frozenset[int]]]:
+        self._def_by_id: dict[int, ast.AST] = {}
+        gen: list[list[list[tuple[str, int]]]] = []
+        for block in self.cfg:
+            row: list[list[tuple[str, int]]] = []
+            for stmt in block.statements:
+                pairs: list[tuple[str, int]] = []
+                for name, value in _shallow_definitions(stmt):
+                    self._def_by_id[id(value)] = value
+                    pairs.append((name, id(value)))
+                row.append(pairs)
+            gen.append(row)
+
+        params: dict[str, frozenset[int]] = {}
+        args = self.fn.args
+        for arg in (
+            args.posonlyargs + args.args + args.kwonlyargs
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            self._def_by_id[id(arg)] = arg
+            params[arg.arg] = frozenset({id(arg)})
+
+        def merge(
+            a: dict[str, frozenset[int]], b: dict[str, frozenset[int]]
+        ) -> dict[str, frozenset[int]]:
+            result = dict(a)
+            for name, ids in b.items():
+                result[name] = result.get(name, frozenset()) | ids
+            return result
+
+        def through(
+            index: int, inset: dict[str, frozenset[int]]
+        ) -> dict[str, frozenset[int]]:
+            acc = dict(inset)
+            for pairs in gen[index]:
+                for name, def_id in pairs:
+                    acc[name] = frozenset({def_id})
+            return acc
+
+        preds: list[list[int]] = [[] for _ in self.cfg]
+        for index, block in enumerate(self.cfg):
+            for succ in block.successors:
+                preds[succ].append(index)
+
+        out: list[dict[str, frozenset[int]]] = [{} for _ in self.cfg]
+        out[0] = through(0, params)
+        changed = True
+        while changed:
+            changed = False
+            for index in range(len(self.cfg)):
+                if index == 0:
+                    inset = dict(params)
+                else:
+                    inset = {}
+                    for pred in preds[index]:
+                        inset = merge(inset, out[pred])
+                new_out = through(index, inset)
+                if new_out != out[index]:
+                    out[index] = new_out
+                    changed = True
+
+        result: dict[int, dict[str, frozenset[int]]] = {}
+        for index, block in enumerate(self.cfg):
+            if index == 0:
+                acc = dict(params)
+            else:
+                acc = {}
+                for pred in preds[index]:
+                    acc = merge(acc, out[pred])
+            for position, stmt in enumerate(block.statements):
+                result[id(stmt)] = dict(acc)
+                for name, def_id in gen[index][position]:
+                    acc[name] = frozenset({def_id})
+        return result

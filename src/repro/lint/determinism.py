@@ -25,6 +25,7 @@ from __future__ import annotations
 import ast
 from typing import Mapping
 
+from repro.lint.dataflow import dotted
 from repro.lint.engine import LintViolation, SourceModule
 
 #: Modules holding the process-pool work units; everything they can
@@ -51,18 +52,6 @@ BANNED_CALL_SUFFIXES = frozenset({
 #: seeded generators); every other ``*.random.*`` call is legacy
 #: global-state API.
 _SEEDED_FACTORIES = frozenset({"default_rng", "Generator", "SeedSequence"})
-
-
-def _dotted(node: ast.expr) -> str | None:
-    """Render an ``a.b.c`` attribute chain; None for anything else."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
 
 
 def import_edges(module: SourceModule) -> set[str]:
@@ -146,25 +135,25 @@ def _module_violations(module: SourceModule) -> list[LintViolation]:
                     "on the clock"
                 ))
                 continue
-            dotted = _dotted(node.func)
-            if dotted is None:
+            target = dotted(node.func)
+            if target is None:
                 continue
-            parts = dotted.split(".")
+            parts = target.split(".")
             suffix = ".".join(parts[-2:])
             if suffix in BANNED_CALL_SUFFIXES:
                 flag(node.lineno, (
-                    f"nondeterministic call {dotted}() in "
+                    f"nondeterministic call {target}() in "
                     "worker-reachable code"
                 ))
             elif "random" in parts[:-1]:
                 if parts[-1] not in _SEEDED_FACTORIES:
                     flag(node.lineno, (
-                        f"legacy global-state RNG call {dotted}(); use a "
+                        f"legacy global-state RNG call {target}(); use a "
                         "seeded Generator from default_rng(seed)"
                     ))
                 elif not node.args and not node.keywords:
                     flag(node.lineno, (
-                        f"unseeded {dotted}() draws OS entropy; pass an "
+                        f"unseeded {target}() draws OS entropy; pass an "
                         "explicit seed in worker-reachable code"
                     ))
             elif (
@@ -173,7 +162,7 @@ def _module_violations(module: SourceModule) -> list[LintViolation]:
                 and not node.keywords
             ):
                 flag(node.lineno, (
-                    f"unseeded {dotted}() draws OS entropy; pass an "
+                    f"unseeded {target}() draws OS entropy; pass an "
                     "explicit seed in worker-reachable code"
                 ))
     return violations

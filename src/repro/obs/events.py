@@ -58,7 +58,83 @@ RUNTIME_PREFIXES = (
     "fault.",
 )
 
-#: JSON Schema (draft-07 subset) of one trace event record.
+#: Per-event-name payload contract: every event name the project may
+#: emit, mapped to the keys its ``f`` payload may carry and their
+#: types. Type strings are ``str``/``int``/``number``/``bool``/
+#: ``object``; a ``?`` suffix marks a key that may be absent or null.
+#: The ``trace-contract`` lint rule statically resolves every
+#: ``emit()``/``span()`` call site in ``src/repro`` against this table
+#: — an emit of an uncatalogued name, an uncatalogued payload key, or
+#: a catalogued name nothing emits all fail ``repro lint``.
+EVENT_NAMES: dict[str, dict[str, str]] = {
+    # run / point lifecycle (parent process)
+    "run.start": {"points": "int", "sets": "int", "jobs": "int",
+                  "resumed": "int"},
+    "run.end": {},
+    "point.end": {"x": "number", "failures": "int"},
+    "gen.tasksets": {"sets": "int"},
+    # per-unit protocol evaluation
+    "protocol.verdict": {"protocol": "str", "schedulable": "bool"},
+    "protocol.failure": {"protocol": "str", "error": "str"},
+    # analysis: fixpoint iterations, solves, screens
+    "fixpoint.iteration": {"mode": "str", "iteration": "int"},
+    "solve": {"mode": "str", "method": "str", "status": "str",
+              "degradation": "int", "rows": "int?", "vars": "int?"},
+    "solve.screen": {"mode": "str", "status": "str", "rows": "int?",
+                     "vars": "int?"},
+    "solve.screen_batch": {"size": "int"},
+    "milp.incremental.update": {"mode": "str"},
+    "milp.incremental.rebuild": {"mode": "str"},
+    "ls.round": {"round": "int", "marks": "int"},
+    # analysis-cache traffic (names mirror AnalysisCache.COUNTER_NAMES)
+    "cache.hits": {"amount": "int"},
+    "cache.misses": {"amount": "int"},
+    "cache.persistent.hits": {"amount": "int"},
+    "cache.persistent.corrupt": {"amount": "int"},
+    "cache.milp_solves": {"amount": "int"},
+    "cache.lp_solves": {"amount": "int"},
+    "cache.milp_warm_starts": {"amount": "int"},
+    "cache.closed_form_screens": {"amount": "int"},
+    "cache.lp_screens": {"amount": "int"},
+    "cache.screened_out": {"amount": "int"},
+    # worker lifecycle / crash recovery
+    "worker.unit": {"pid": "int"},
+    "worker.requeued": {"attempt": "int", "error": "str"},
+    "worker.quarantined": {"crashes": "int", "error": "str"},
+    "worker.pool_broken": {"suspects": "int"},
+    "worker.crash": {"attempt": "int", "crashes": "int"},
+    # checkpoints
+    "checkpoint.saved": {},
+    "checkpoint.recovered": {"detail": "str"},
+    "checkpoint.retry": {"attempt": "int", "error": "str", "path": "str"},
+    # resilient solver backend
+    "resilience.watchdog": {"model": "str", "backend": "str",
+                            "limit": "number"},
+    "resilience.retry": {"model": "str", "attempt": "int", "error": "str"},
+    "resilience.fallback": {"model": "str", "level": "str"},
+    "resilience.closed_form": {"model": "str"},
+    "highs.retry": {"model": "str", "options": "object"},
+    "highs.solve": {"model": "str", "scipy_status": "int", "rows": "int",
+                    "vars": "int"},
+    # fault injection (one entry per site in repro.faults.plan.SITES;
+    # mode/spec/plan come from Injection.fire, the rest are the
+    # site-specific extras its callers forward)
+    "fault.solver.fault": {"mode": "str", "spec": "int", "plan": "str",
+                           "backend": "str"},
+    "fault.worker.death": {"mode": "str", "spec": "int?", "plan": "str",
+                           "synthesized": "bool?"},
+    "fault.checkpoint.torn": {"mode": "str", "spec": "int", "plan": "str"},
+    "fault.trace.corrupt": {"mode": "str", "spec": "int?", "plan": "str?",
+                            "name": "str?"},
+    "fault.fs.error": {"mode": "str", "spec": "int", "plan": "str",
+                       "op": "str"},
+    "fault.cache.corrupt": {"mode": "str", "spec": "int", "plan": "str",
+                            "key": "str"},
+}
+
+#: JSON Schema (draft-07 subset) of one trace event record. The
+#: per-name payload catalogue rides along under ``definitions`` so a
+#: single object is the whole trace contract.
 EVENT_SCHEMA: dict = {
     "$schema": "http://json-schema.org/draft-07/schema#",
     "title": "repro trace event",
@@ -76,6 +152,7 @@ EVENT_SCHEMA: dict = {
     },
     "required": ["v", "name", "t"],
     "additionalProperties": False,
+    "definitions": {"events": EVENT_NAMES},
 }
 
 _OPTIONAL_TYPES: dict[str, type | tuple[type, ...]] = {
@@ -230,12 +307,23 @@ def emit(
     *,
     dur: float | None = None,
     task: str | None = None,
+    point: int | None = None,
+    unit: int | None = None,
     **fields: object,
 ) -> None:
-    """Emit an event to the active recorder; no-op when tracing is off."""
+    """Emit an event to the active recorder; no-op when tracing is off.
+
+    Accepts the full envelope (``dur``/``task``/``point``/``unit``)
+    so correlation ids land as top-level record fields, never inside
+    the ``f`` payload — the same signature contract as
+    :meth:`EventRecorder.emit` and :meth:`TraceWriter.emit`, enforced
+    statically by the ``trace-contract`` lint rule.
+    """
     recorder = active_recorder()
     if recorder is not None:
-        recorder.emit(name, dur=dur, task=task, **fields)
+        recorder.emit(
+            name, dur=dur, task=task, point=point, unit=unit, **fields
+        )
 
 
 @contextmanager

@@ -1,0 +1,31 @@
+"""Fixture for the durable-write rule: broken and compliant shapes."""
+import os
+
+
+def unsafe_publish(path: str, text: str) -> None:
+    """No fsync at all: both obligations must be flagged."""
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(text)
+    os.replace(tmp, path)
+
+
+def branchy_publish(path: str, text: str, quick: bool) -> None:
+    """fsync on only one path: the must-analysis has to catch it."""
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(text)
+        if not quick:
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    os.fsync(os.open(path, os.O_RDONLY))
+
+
+def safe_publish(path: str, text: str) -> None:
+    """The full protocol: must pass with no findings."""
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(text)
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    os.fsync(os.open(path, os.O_RDONLY))

@@ -1,0 +1,38 @@
+"""True-positive fixture for the fork-safety rule.
+
+``LeakyHolder`` smuggles a database connection across the
+process-pool boundary through ``work``'s annotation; ``push_scope``
+mutates a module-level scope stack outside any context manager.
+"""
+import sqlite3
+from concurrent.futures import ProcessPoolExecutor
+
+_SCOPES: list[object] = []
+
+
+class LeakyHolder:
+    def __init__(self, path: str) -> None:
+        self.conn = sqlite3.connect(path)
+
+
+class CuratedHolder:
+    """Holds a handle but curates its pickled state — must NOT flag."""
+
+    def __init__(self, path: str) -> None:
+        self.handle = open(path)
+
+    def __getstate__(self) -> dict:
+        return {}
+
+
+def work(holder: "LeakyHolder", curated: CuratedHolder) -> int:
+    return 0
+
+
+def run() -> None:
+    with ProcessPoolExecutor() as pool:
+        pool.submit(work, LeakyHolder("x.db"), CuratedHolder("y.txt"))
+
+
+def push_scope() -> None:
+    _SCOPES.append(object())

@@ -1,0 +1,19 @@
+"""True-positive fixture for the screen-soundness rule.
+
+Both functions store an ``("lp", ...)`` screening entry — one as a
+literal, one through a local — without the ``@bound_producer`` tag.
+"""
+
+
+class FakeCache:
+    def put(self, key: str, value: object) -> None:
+        self.last = (key, value)
+
+
+def untagged_screen(cache: FakeCache, key: str) -> None:
+    cache.put(key, ("lp", 1.0))
+
+
+def untagged_screen_via_local(cache: FakeCache, key: str) -> None:
+    entry = ("lp", 2.0)
+    cache.put(key, entry)

@@ -1,0 +1,11 @@
+"""Warning-only fixture: a fully dynamic event name.
+
+The parameter has no call sites anywhere, so interprocedural
+resolution honestly gives up — the rule must emit a *warning* (which
+fails only ``--strict``), never crash and never stay silent.
+"""
+from repro.obs import events as obs
+
+
+def fixture_dynamic_emit(fixture_event_name: str) -> None:
+    obs.emit(fixture_event_name)

@@ -69,6 +69,26 @@ class TestStorage:
         ):
             assert stats[name] == 0
 
+    def test_put_never_downgrades_entry_rank(self):
+        # Regression pin: an LP screening bound must not overwrite an
+        # exact MILP value (mirrors the store's rank-guarded upsert).
+        cache = AnalysisCache()
+        cache.put("k", ("milp", 5.0))
+        cache.put("k", ("lp", 7.0))
+        assert cache.get("k") == ("milp", 5.0)
+
+    def test_put_upgrades_lp_to_milp(self):
+        cache = AnalysisCache()
+        cache.put("k", ("lp", 7.0))
+        cache.put("k", ("milp", 5.0))
+        assert cache.get("k") == ("milp", 5.0)
+
+    def test_put_keeps_exact_value_over_lp_bound(self):
+        cache = AnalysisCache()
+        cache.put("k", 5.0)
+        cache.put("k", ("lp", 7.0))
+        assert cache.get("k") == 5.0
+
     def test_clear_resets_entries_and_counters(self):
         cache = AnalysisCache()
         cache.put("k", 1)

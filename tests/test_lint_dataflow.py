@@ -1,0 +1,363 @@
+"""Tests for the flow-analysis core (repro.lint.dataflow / callgraph)."""
+
+import ast
+
+from repro.lint.callgraph import (
+    argument_for,
+    resolve_keyword_keys,
+    resolve_string_values,
+)
+from repro.lint.dataflow import (
+    FunctionFlow,
+    ProjectModel,
+    build_cfg,
+    call_name,
+    dotted,
+    project_model,
+)
+from repro.lint.engine import SourceModule
+
+
+def _module(name, source):
+    return SourceModule.parse(name, f"{name.replace('.', '/')}.py", source)
+
+
+def _model(**sources):
+    return ProjectModel({
+        name: _module(name, src) for name, src in sources.items()
+    })
+
+
+def _flow(source, name="f"):
+    tree = ast.parse(source)
+    fn = next(
+        node for node in ast.walk(tree)
+        if isinstance(node, ast.FunctionDef) and node.name == name
+    )
+    return FunctionFlow(fn)
+
+
+def _stmt_calling(flow, callee):
+    from repro.lint.dataflow import shallow_calls
+
+    for block in flow.cfg:
+        for stmt in block.statements:
+            for call in shallow_calls(stmt):
+                if call_name(call) == callee:
+                    return stmt
+    raise AssertionError(f"no statement calling {callee}")
+
+
+class TestDotted:
+    def test_attribute_chain(self):
+        assert dotted(ast.parse("a.b.c", mode="eval").body) == "a.b.c"
+
+    def test_plain_name(self):
+        assert dotted(ast.parse("x", mode="eval").body) == "x"
+
+    def test_computed_target_is_none(self):
+        assert dotted(ast.parse("a[0].b", mode="eval").body) is None
+
+
+class TestProjectModel:
+    def test_indexes_functions_methods_and_classes(self):
+        model = _model(m=(
+            "class C:\n"
+            "    def method(self):\n"
+            "        return 1\n"
+            "def plain():\n"
+            "    return 2\n"
+        ))
+        assert "m:C.method" in model.functions
+        assert "m:plain" in model.functions
+        assert model.functions["m:C.method"].is_method
+        assert model.class_named("C") is not None
+
+    def test_each_call_collected_exactly_once(self):
+        model = _model(m=(
+            "def f(x):\n"
+            "    if g(x):\n"
+            "        return h(x)\n"
+            "    for item in items(x):\n"
+            "        consume(item)\n"
+            "    return tail(x)\n"
+        ))
+        names = sorted(
+            call_name(site.call) for site in model.calls
+        )
+        assert names == ["consume", "g", "h", "items", "tail"]
+
+    def test_sites_calling_name_matches_same_module_only(self):
+        model = _model(
+            a="def target():\n    return 0\ndef caller():\n    return target()\n",
+            b="def other():\n    return target()\n",
+        )
+        fn = model.functions["a:target"]
+        sites = model.sites_calling(fn)
+        assert [site.module for site in sites] == ["a"]
+
+    def test_sites_calling_attribute_matches_everywhere(self):
+        model = _model(
+            a="class C:\n    def target(self):\n        return 0\n",
+            b="def use(c):\n    return c.target()\n",
+        )
+        fn = model.functions["a:C.target"]
+        assert [site.module for site in model.sites_calling(fn)] == ["b"]
+
+    def test_project_model_cached_by_identity(self):
+        modules = {"m": _module("m", "x = 1\n")}
+        assert project_model(modules) is project_model(modules)
+
+
+class TestCfg:
+    def test_linear_body_is_single_block(self):
+        blocks = build_cfg(ast.parse(
+            "def f():\n    a()\n    b()\n"
+        ).body[0])
+        assert len(blocks[0].statements) == 2
+
+    def test_if_branches_rejoin(self):
+        flow = _flow(
+            "def f(c):\n"
+            "    if c:\n"
+            "        left()\n"
+            "    else:\n"
+            "        right()\n"
+            "    after()\n"
+        )
+        after = _stmt_calling(flow, "after")
+        names = {call_name(c) for c in flow.must_precede_calls(after)}
+        # Neither branch executes on every path.
+        assert "left" not in names and "right" not in names
+
+    def test_loop_body_may_run_zero_times(self):
+        flow = _flow(
+            "def f(items):\n"
+            "    for item in items:\n"
+            "        inside(item)\n"
+            "    after()\n"
+        )
+        after = _stmt_calling(flow, "after")
+        names = {call_name(c) for c in flow.must_precede_calls(after)}
+        assert "inside" not in names
+
+    def test_break_skips_orelse(self):
+        flow = _flow(
+            "def f(items):\n"
+            "    for item in items:\n"
+            "        if item:\n"
+            "            break\n"
+            "    else:\n"
+            "        only_without_break()\n"
+            "    after()\n"
+        )
+        after = _stmt_calling(flow, "after")
+        names = {call_name(c) for c in flow.must_precede_calls(after)}
+        # The break path never runs the orelse.
+        assert "only_without_break" not in names
+
+
+class TestMustPrecede:
+    def test_straight_line_call_precedes(self):
+        flow = _flow("def f():\n    first()\n    second()\n")
+        second = _stmt_calling(flow, "second")
+        names = {call_name(c) for c in flow.must_precede_calls(second)}
+        assert "first" in names
+
+    def test_call_in_both_branches_precedes(self):
+        flow = _flow(
+            "def f(c):\n"
+            "    if c:\n"
+            "        sync()\n"
+            "    else:\n"
+            "        sync()\n"
+            "    publish()\n"
+        )
+        publish = _stmt_calling(flow, "publish")
+        names = {call_name(c) for c in flow.must_precede_calls(publish)}
+        assert "sync" in names
+
+    def test_call_in_one_branch_does_not_precede(self):
+        flow = _flow(
+            "def f(c):\n"
+            "    if c:\n"
+            "        sync()\n"
+            "    publish()\n"
+        )
+        publish = _stmt_calling(flow, "publish")
+        names = {call_name(c) for c in flow.must_precede_calls(publish)}
+        assert "sync" not in names
+
+    def test_try_handler_entered_with_try_entry_facts(self):
+        flow = _flow(
+            "def f():\n"
+            "    before()\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except OSError:\n"
+            "        handle()\n"
+            "    after()\n"
+        )
+        handle = _stmt_calling(flow, "handle")
+        names = {call_name(c) for c in flow.must_precede_calls(handle)}
+        # The exception may fire before risky() completed...
+        assert "risky" not in names
+        # ...but never before the statement preceding the try.
+        assert "before" in names
+
+    def test_with_body_inlined(self):
+        flow = _flow(
+            "def f(p):\n"
+            "    with open(p) as h:\n"
+            "        sync(h)\n"
+            "    publish()\n"
+        )
+        publish = _stmt_calling(flow, "publish")
+        names = {call_name(c) for c in flow.must_precede_calls(publish)}
+        assert {"open", "sync"} <= names
+
+
+class TestReachingDefinitions:
+    def test_reassignment_kills_previous_definition(self):
+        flow = _flow(
+            "def f():\n"
+            "    x = first()\n"
+            "    x = second()\n"
+            "    use(x)\n"
+        )
+        use = _stmt_calling(flow, "use")
+        defs = flow.reaching(use, "x")
+        assert [call_name(d) for d in defs] == ["second"]
+
+    def test_branches_merge_both_definitions(self):
+        flow = _flow(
+            "def f(c):\n"
+            "    if c:\n"
+            "        x = left()\n"
+            "    else:\n"
+            "        x = right()\n"
+            "    use(x)\n"
+        )
+        use = _stmt_calling(flow, "use")
+        names = sorted(call_name(d) for d in flow.reaching(use, "x"))
+        assert names == ["left", "right"]
+
+    def test_parameter_is_entry_definition(self):
+        flow = _flow("def f(x):\n    use(x)\n")
+        use = _stmt_calling(flow, "use")
+        defs = flow.reaching(use, "x")
+        assert len(defs) == 1
+        assert isinstance(defs[0], ast.arg)
+
+    def test_with_binding_defines_target(self):
+        flow = _flow(
+            "def f(p):\n"
+            "    with open(p) as h:\n"
+            "        use(h)\n"
+        )
+        use = _stmt_calling(flow, "use")
+        defs = flow.reaching(use, "h")
+        assert [call_name(d) for d in defs] == ["open"]
+
+
+class TestCallgraphResolution:
+    def test_constant_resolves(self):
+        model = _model(m="x = 1\n")
+        expr = ast.parse("'lit'", mode="eval").body
+        result = resolve_string_values(expr, None, model)
+        assert result.values == {"lit"} and result.complete
+
+    def test_ifexp_resolves_both_arms(self):
+        model = _model(m="x = 1\n")
+        expr = ast.parse("'a' if c else 'b'", mode="eval").body
+        result = resolve_string_values(expr, None, model)
+        assert result.values == {"a", "b"}
+
+    def test_parameter_resolved_through_call_sites(self):
+        model = _model(m=(
+            "def sink(name):\n"
+            "    emitted(f'cache.{name}')\n"
+            "def one():\n"
+            "    sink('hits')\n"
+            "def two():\n"
+            "    sink('misses')\n"
+        ))
+        site = next(
+            s for s in model.calls if call_name(s.call) == "emitted"
+        )
+        result = resolve_string_values(
+            site.call.args[0], site.enclosing, model
+        )
+        assert result.values == {"cache.hits", "cache.misses"}
+        assert result.complete
+
+    def test_method_positional_shift(self):
+        model = _model(m=(
+            "class C:\n"
+            "    def fire(self, site):\n"
+            "        emitted(site)\n"
+            "def go(c):\n"
+            "    c.fire('solver.fault')\n"
+        ))
+        fn = model.functions["m:C.fire"]
+        site = next(
+            s for s in model.calls if call_name(s.call) == "c.fire"
+        )
+        arg = argument_for(site, fn, "site")
+        assert isinstance(arg, ast.Constant) and arg.value == "solver.fault"
+
+    def test_unresolvable_marks_incomplete(self):
+        model = _model(m=(
+            "def sink(name):\n"
+            "    emitted(name)\n"
+        ))
+        site = next(
+            s for s in model.calls if call_name(s.call) == "emitted"
+        )
+        result = resolve_string_values(
+            site.call.args[0], site.enclosing, model
+        )
+        assert not result.complete
+
+    def test_forwarding_cycle_terminates(self):
+        model = _model(m=(
+            "def a(name):\n"
+            "    b(name)\n"
+            "def b(name):\n"
+            "    a(name)\n"
+            "    emitted(name)\n"
+            "def entry():\n"
+            "    b('real.event')\n"
+        ))
+        site = next(
+            s for s in model.calls if call_name(s.call) == "emitted"
+        )
+        result = resolve_string_values(
+            site.call.args[0], site.enclosing, model
+        )
+        assert "real.event" in result.values
+
+    def test_kwargs_forwarding_resolves_keys(self):
+        model = _model(m=(
+            "def sink(name, **fields):\n"
+            "    emit(name, **fields)\n"
+            "def go():\n"
+            "    sink('x', alpha=1, beta=2)\n"
+        ))
+        site = next(
+            s for s in model.calls if call_name(s.call) == "emit"
+        )
+        result = resolve_keyword_keys(site.call, site.enclosing, model)
+        assert result.values == {"alpha", "beta"}
+        assert result.complete
+
+    def test_non_kwargs_star_expansion_incomplete(self):
+        model = _model(m=(
+            "def go(d):\n"
+            "    emit('x', **d)\n"
+        ))
+        site = next(
+            s for s in model.calls if call_name(s.call) == "emit"
+        )
+        result = resolve_keyword_keys(site.call, site.enclosing, model)
+        assert not result.complete

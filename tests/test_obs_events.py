@@ -113,6 +113,19 @@ class TestRecorder:
         assert names == ["solve", "inner", "phase"]
         assert active_recorder() is None
 
+    def test_module_emit_forwards_full_envelope(self):
+        # Regression pin: point/unit passed through the module-level
+        # emit() must land as top-level envelope keys, not in f{}.
+        with recording() as rec:
+            emit("solve", dur=0.5, task="t1", point=3, unit=1, note="x")
+        (event,) = rec.events
+        assert event["point"] == 3
+        assert event["unit"] == 1
+        assert event["task"] == "t1"
+        assert event["dur"] == 0.5
+        assert event["f"] == {"note": "x"}
+        assert validate_event(event) == []
+
     def test_nested_scopes_innermost_wins(self):
         with recording() as outer:
             with recording() as inner:

@@ -4,16 +4,22 @@
 Runs the same rules as ``repro lint`` without needing the package
 installed — CI and pre-commit hooks call this file directly::
 
-    python tools/lint_rules.py             # all rules
+    python tools/lint_rules.py                 # all rules
     python tools/lint_rules.py --rule worker-determinism
+    python tools/lint_rules.py --strict --baseline tools/lint_baseline.json
+    python tools/lint_rules.py --sarif lint.sarif
     python tools/lint_rules.py --list
 
-Exit status: 0 when every invariant holds, 1 otherwise.
+Findings go to stdout; counts and the all-clear go to stderr. Exit
+status: 0 when every checked invariant holds, 1 on findings (warnings
+fail only under ``--strict``), 2 on usage or configuration errors
+(e.g. an unreadable baseline).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -22,7 +28,15 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro.lint import RULES, run_lint  # noqa: E402  (path bootstrap above)
+from repro.lint import (  # noqa: E402  (path bootstrap above)
+    RULES,
+    load_baseline,
+    load_project,
+    run_lint,
+    suppress_baseline,
+    to_sarif,
+    write_baseline,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -34,6 +48,28 @@ def main(argv: list[str] | None = None) -> int:
         help="run only this rule (repeatable; default: all rules)",
     )
     parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings (unprovable facts) as failures",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="JSON file of grandfathered finding fingerprints",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        help="also write the findings as a SARIF 2.1.0 log",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list the known rules and exit"
     )
     args = parser.parse_args(argv)
@@ -41,15 +77,51 @@ def main(argv: list[str] | None = None) -> int:
         for name in sorted(RULES):
             print(name)
         return 0
-    violations = run_lint(rules=args.rule)
+    project = load_project()
+    violations = sorted(
+        project.findings + run_lint(project.modules, rules=args.rule),
+        key=lambda v: (v.path, v.line, v.rule),
+    )
+    if args.update_baseline:
+        if not args.baseline:
+            print(
+                "error: --update-baseline requires --baseline PATH",
+                file=sys.stderr,
+            )
+            return 2
+        write_baseline(violations, args.baseline)
+        print(
+            f"baseline {args.baseline} updated with "
+            f"{len(violations)} finding(s)",
+            file=sys.stderr,
+        )
+        return 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        violations = suppress_baseline(violations, baseline)
+    if args.sarif:
+        Path(args.sarif).write_text(
+            json.dumps(to_sarif(violations), indent=2) + "\n"
+        )
     for violation in violations:
         print(violation.render())
     checked = ", ".join(args.rule or sorted(RULES))
+    errors = sum(1 for v in violations if v.severity == "error")
+    warnings = len(violations) - errors
     if violations:
-        print(f"{len(violations)} invariant violation(s) [{checked}]")
-        return 1
-    print(f"all project invariants hold [{checked}]")
-    return 0
+        print(
+            f"{len(violations)} finding(s): {errors} error(s), "
+            f"{warnings} warning(s) [{checked}]",
+            file=sys.stderr,
+        )
+    else:
+        print(f"all project invariants hold [{checked}]", file=sys.stderr)
+    failing = len(violations) if args.strict else errors
+    return 1 if failing else 0
 
 
 if __name__ == "__main__":
