@@ -1,0 +1,121 @@
+"""Sweep-service benchmarks: dispatch overhead and the warm store path.
+
+One benchmark, three measurements on the reduced fig2a sweep:
+
+* a sequential store-less reference run (the ground truth the service
+  must match bit-for-bit in ratios and ledger);
+* a cold service run — coordinator + 4 socket-connected local workers
+  + persistent unit store — timed end to end including worker spawn;
+* a repeated identical submit against the same store with a fresh
+  checkpoint directory, which the coordinator must answer entirely
+  from the content-addressed unit store: zero MILP solves, zero cache
+  misses, ``unit_store.hits`` == unit count, milliseconds not minutes.
+
+Writes ``BENCH_service.json`` next to the repo root. As with
+``BENCH_parallel.json``, the ``cpu_count`` field records what the
+numbers were measured on — a 1-core box will honestly show the cold
+service run *slower* than sequential (dispatch overhead without
+parallel hardware); the warm-repeat speedup is hardware-independent.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from _helpers import scaled_inset
+
+#: Task sets per sweep point (matches BENCH_parallel.json).
+SETS = 8
+#: Local worker processes behind the cold service run.
+WORKERS = 4
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_sweep_benchmark(benchmark, tmp_path):
+    """Cold service vs sequential, then a store-served warm repeat."""
+    from repro.analysis.interface import AnalysisOptions
+    from repro.experiments.report import aggregate_analysis_stats
+    from repro.experiments.runner import run_experiment
+    from repro.service import run_service_sweep
+
+    options = AnalysisOptions()
+    config = scaled_inset("fig2a", SETS, start=1, stop=5)  # U=.2,.3,.4,.5
+
+    t0 = time.perf_counter()
+    sequential = run_experiment(config, options=options)
+    sequential_s = time.perf_counter() - t0
+
+    store = tmp_path / "unit-store.sqlite"
+
+    def cold_run():
+        t0 = time.perf_counter()
+        result = run_service_sweep(
+            config,
+            workers=WORKERS,
+            options=options,
+            cache_path=str(store),
+            checkpoint_dir=str(tmp_path / "cold-ckpt"),
+        )
+        return result, time.perf_counter() - t0
+
+    cold, cold_s = benchmark.pedantic(cold_run, rounds=1, iterations=1)
+
+    # Fresh checkpoint dir: nothing resumes, every unit must be
+    # answered by the pre-dispatch digest probe against the store.
+    t0 = time.perf_counter()
+    warm = run_service_sweep(
+        config,
+        workers=WORKERS,
+        options=options,
+        cache_path=str(store),
+        checkpoint_dir=str(tmp_path / "warm-ckpt"),
+    )
+    warm_s = time.perf_counter() - t0
+
+    def reduced_match(result):
+        return all(
+            a.ratios == b.ratios and a.failures == b.failures
+            for a, b in zip(sequential.points, result.points)
+        )
+
+    identical = reduced_match(cold) and reduced_match(warm)
+    cold_stats = dict(aggregate_analysis_stats(cold.points))
+    warm_stats = dict(aggregate_analysis_stats(warm.points))
+    total_units = sum(p.sets_evaluated for p in warm.points)
+    warm_compute = {
+        k: v for k, v in warm_stats.items() if k != "unit_store.hits"
+    }
+    artifact = {
+        "experiment": "fig2a reduced (U=0.2..0.5, %d sets/point)" % SETS,
+        "cpu_count": os.cpu_count(),
+        "workers": WORKERS,
+        "sequential_seconds": round(sequential_s, 3),
+        "service_cold_seconds": round(cold_s, 3),
+        "service_warm_seconds": round(warm_s, 3),
+        "warm_speedup_vs_cold": round(
+            cold_s / warm_s if warm_s else float("inf"), 1
+        ),
+        "bit_identical": identical,
+        "cold_milp_solves": cold_stats.get("milp_solves", 0),
+        "warm_milp_solves": warm_stats.get("milp_solves", 0),
+        "warm_unit_store_hits": warm_stats.get("unit_store.hits", 0),
+        "total_units": total_units,
+        "cold_stats": cold_stats,
+        "warm_stats": warm_stats,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+    out.write_text(json.dumps(artifact, indent=2) + "\n")
+    print()
+    print(json.dumps(artifact, indent=2))
+
+    assert identical, "service sweep diverged from the sequential path"
+    assert warm_stats.get("unit_store.hits", 0) == total_units, (
+        "warm repeat was not answered entirely from the unit store"
+    )
+    assert all(value == 0 for value in warm_compute.values()), (
+        f"warm repeat performed analysis work: {warm_compute}"
+    )
+    assert warm_s < cold_s, "store-served repeat was not faster than cold"

@@ -66,6 +66,9 @@ class PersistentStoreLike(Protocol):
 #: ``milp_warm_starts`` counts fixpoint iterations that reused the
 #: previous iteration's compiled model — either retargeted in place or
 #: squeezed closed by its LP bound without an integer solve.
+#: ``unit_store.hits`` counts whole finished *work units* the sweep
+#: service answered from the persistent store without dispatching any
+#: analysis (see :func:`repro.experiments.units.served_unit`).
 COUNTER_NAMES = (
     "hits",
     "misses",
@@ -77,6 +80,7 @@ COUNTER_NAMES = (
     "closed_form_screens",
     "lp_screens",
     "screened_out",
+    "unit_store.hits",
 )
 
 _F = TypeVar("_F", bound=Callable[..., object])

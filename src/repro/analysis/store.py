@@ -41,7 +41,7 @@ import json
 import os
 import sqlite3
 from pathlib import Path
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.faults import injection
 
@@ -185,6 +185,48 @@ class PersistentStore:
         conn.commit()
         self.corrupt_dropped += 1
         return None, True
+
+    def fetch_many(self, digests: "Iterable[str]") -> dict[str, object]:
+        """Batched probe: the decodable subset of ``digests``.
+
+        The sweep service consults the store for *every* unit of a
+        submitted sweep before dispatching anything; issuing one
+        ``SELECT`` per unit would pay the connection round-trip and
+        B-tree descent thousands of times for a warm repeat sweep.
+        This batches the probe into ``IN (...)`` queries (chunked under
+        sqlite's bound-parameter limit) and applies the same per-row
+        sha256 verification as :meth:`fetch` — corrupt rows are deleted,
+        counted, and simply absent from the returned mapping, so the
+        caller re-solves them exactly as it would a miss.
+        """
+        hits: dict[str, object] = {}
+        wanted = sorted(set(digests))
+        if not wanted:
+            return hits
+        conn = self._connect()
+        corrupt: list[str] = []
+        for start in range(0, len(wanted), 500):
+            chunk = wanted[start : start + 500]
+            marks = ",".join("?" * len(chunk))
+            rows = conn.execute(
+                f"SELECT digest, payload, sha FROM entries"
+                f" WHERE digest IN ({marks})",
+                chunk,
+            ).fetchall()
+            for digest, payload, sha in rows:
+                if _sha(payload) == sha:
+                    try:
+                        hits[digest] = _decode(payload)
+                        continue
+                    except (ValueError, KeyError, TypeError):
+                        pass
+                corrupt.append(digest)
+        for digest in corrupt:
+            conn.execute("DELETE FROM entries WHERE digest = ?", (digest,))
+        if corrupt:
+            conn.commit()
+            self.corrupt_dropped += len(corrupt)
+        return hits
 
     def store(self, digest: str, value: object) -> None:
         """Upsert one entry (higher rank wins; equal rank is a no-op).

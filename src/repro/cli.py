@@ -6,6 +6,11 @@ Subcommands::
     repro simulate    <taskset> [--protocol ...]  run a simulation + Gantt
     repro figure      <fig2a..fig2f> [--sets N] [--cache db.sqlite]
                                                   regenerate a Fig. 2 inset
+    repro serve       [--workers N] [--cache db]  run a sweep-service
+                                                  coordinator + local workers
+    repro submit      <fig2a..fig2f> --port P     submit a sweep to a running
+                                                  service (warm repeats are
+                                                  served from the store)
     repro cache       stats|gc|clear <db.sqlite>  persistent-cache upkeep
     repro demo                                    the Fig. 1 motivating example
     repro sensitivity <taskset> [--knob ...]      critical scaling factor
@@ -160,6 +165,87 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     print(render_sweep_table(result))
     print()
     print(ascii_plot(result))
+    if result.failures:
+        print()
+        print(render_failure_ledger(result))
+    if args.csv:
+        Path(args.csv).write_text(sweep_to_csv(result))
+        print(f"CSV written to {args.csv}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    fault_plan = None
+    if args.inject:
+        from repro.faults import load_plan
+
+        fault_plan = load_plan(args.inject)
+        print(
+            f"injecting faults from {args.inject} "
+            f"(plan {fault_plan.name or '(unnamed)'}, "
+            f"{len(fault_plan.specs)} spec(s))"
+        )
+
+    def ready(port: int) -> None:
+        print(
+            f"sweep service listening on {args.host}:{port} "
+            f"({args.workers} local worker(s))",
+            flush=True,
+        )
+
+    serve(
+        args.host,
+        args.port,
+        workers=args.workers,
+        cache_path=args.cache or None,
+        checkpoint_dir=args.checkpoint_dir or None,
+        trace_dir=args.trace_dir or None,
+        fault_plan=fault_plan,
+        max_sweeps=args.sweeps,
+        ready=ready,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import submit_sweep
+
+    config = figure2_config(
+        args.inset, sets_per_point=args.sets, seed=args.seed,
+        method=args.method,
+    )
+    options = AnalysisOptions(time_limit=args.time_limit)
+    print(
+        f"submitting {args.inset} ({args.sets} task sets per point) "
+        f"to {args.host}:{args.port}"
+    )
+
+    def unit_progress(done: int, total: int, served: int) -> None:
+        print(
+            f"\r  units {done}/{total} ({served} served from store)",
+            end="",
+            flush=True,
+        )
+
+    def progress(point: dict) -> None:
+        ratios = "  ".join(
+            f"{p}={point['ratios'][p]:.2f}" for p in config.protocols
+        )
+        print(f"\r  {config.x_label}={point['x']:g}: {ratios}")
+
+    result = submit_sweep(
+        args.host,
+        args.port,
+        config,
+        options=options,
+        failure_policy=args.failure_policy,
+        progress=progress,
+        unit_progress=unit_progress,
+    )
+    print()
+    print(render_sweep_table(result))
     if result.failures:
         print()
         print(render_failure_ledger(result))
@@ -526,6 +612,67 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical with or without it)",
     )
     p_fig.set_defaults(func=_cmd_figure)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run a sweep-service coordinator with local workers",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=0,
+        help="port to bind (0 picks a free one, printed on startup)",
+    )
+    p_srv.add_argument(
+        "--workers", type=int, default=2,
+        help="local worker processes to spawn (dead ones are replaced)",
+    )
+    p_srv.add_argument(
+        "--cache", default="",
+        help="persistent sqlite store backing both the per-solve cache "
+        "and the finished-unit tier (repeat submits are served from it)",
+    )
+    p_srv.add_argument(
+        "--checkpoint-dir", default="",
+        help="directory of per-sweep checkpoints (keyed by config "
+        "digest); a restarted coordinator resumes from them",
+    )
+    p_srv.add_argument(
+        "--trace-dir", default="",
+        help="directory of per-sweep JSONL event traces",
+    )
+    p_srv.add_argument(
+        "--sweeps", type=int, default=None,
+        help="exit after this many processed sweeps (default: serve "
+        "until interrupted)",
+    )
+    p_srv.add_argument(
+        "--inject", default="",
+        help="inject deterministic faults from this JSON fault plan "
+        "(disables the unit-result store for the run)",
+    )
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="submit a Fig. 2 sweep to a running sweep service"
+    )
+    p_sub.add_argument("inset", choices=sorted(FIGURE2_INSETS))
+    p_sub.add_argument("--host", default="127.0.0.1")
+    p_sub.add_argument("--port", type=int, required=True)
+    p_sub.add_argument("--sets", type=int, default=50)
+    p_sub.add_argument("--seed", type=int, default=2020)
+    p_sub.add_argument(
+        "--method", choices=("milp", "lp", "closed_form"), default="milp"
+    )
+    p_sub.add_argument("--time-limit", type=float, default=None)
+    p_sub.add_argument(
+        "--failure-policy",
+        choices=[p.value for p in FailurePolicy],
+        default=FailurePolicy.COUNT_UNSCHEDULABLE.value,
+    )
+    p_sub.add_argument(
+        "--csv", default="", help="write the series to a CSV file"
+    )
+    p_sub.set_defaults(func=_cmd_submit)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or prune a persistent analysis cache"

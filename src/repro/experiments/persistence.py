@@ -48,7 +48,7 @@ from typing import Mapping
 
 from repro.errors import ExperimentError, InjectedCrashError
 from repro.experiments.config import ExperimentConfig, SweepPoint
-from repro.experiments.runner import FailureRecord, PointResult, SweepResult
+from repro.experiments.units import FailureRecord, PointResult, SweepResult
 from repro.faults import injection as faults
 from repro.generator.taskset_gen import GenerationConfig
 from repro.obs import events as obs

@@ -88,6 +88,11 @@ def render_sweep_table(result: SweepResult) -> str:
             f"{stats.get('lp_screens', 0)} LP, "
             f"{stats.get('screened_out', 0)} integer solves screened out"
         )
+    served = stats.get("unit_store.hits", 0)
+    if served:
+        lines.append(
+            f"unit store: {served} unit(s) served without analysis"
+        )
     return "\n".join(lines)
 
 

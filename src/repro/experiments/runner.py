@@ -9,6 +9,14 @@ every completed point is persisted atomically so an interrupted sweep
 resumes from where it stopped (see
 :mod:`repro.experiments.persistence`).
 
+The unit layer (result dataclasses, the single per-unit evaluation
+function, the completion-order-independent merge, and the
+dispatch-agnostic :class:`~repro.experiments.units.UnitScheduler`)
+lives in :mod:`repro.experiments.units`; this module re-exports the
+public names and owns the two local dispatch engines — sequential and
+``ProcessPoolExecutor`` — while :mod:`repro.service` drives the same
+scheduler over a socket-connected worker fleet.
+
 Parallel execution
 ------------------
 ``run_experiment(..., jobs=N)`` fans the sweep out over a
@@ -51,6 +59,12 @@ aborting the sweep:
 * Pool respawns are bounded (a function of the unit count); an
   environment that keeps killing workers everywhere fails loudly with
   an :class:`ExperimentError` rather than looping.
+* Marker directories orphaned by a **crashed parent** are reaped on
+  the next startup: each run stamps its PID into the directory's
+  ``.owner`` file, and :func:`run_experiment` removes any
+  ``repro-inflight-*`` directory whose owner process no longer exists
+  (surfaced as a ``worker.markers_swept`` trace event) — the same
+  self-healing persistence applies to stale ``*.tmp`` checkpoints.
 
 Because workers are deterministic, a re-run of an innocent unit
 returns bit-identical counts, so crash recovery preserves the
@@ -62,7 +76,6 @@ Deterministic fault injection for all of the above lives in
 
 from __future__ import annotations
 
-import enum
 import os
 import shutil
 import tempfile
@@ -74,305 +87,38 @@ from concurrent.futures import (
     wait,
 )
 from contextlib import nullcontext
-from dataclasses import dataclass, field
-from functools import lru_cache
 from pathlib import Path
-from typing import Callable, Mapping
+from typing import Callable
 
 from repro.analysis.cache import AnalysisCache, cache_scope
 from repro.analysis.interface import AnalysisOptions
-from repro.analysis.store import PersistentStore
 from repro.analysis.schedulability import is_schedulable
-from repro.errors import ExperimentError, ReproError, WorkerCrashError
+from repro.analysis.store import PersistentStore
+from repro.errors import ExperimentError, ReproError
 from repro.experiments.config import ExperimentConfig, SweepPoint
+from repro.experiments.units import (
+    _CRASH_QUARANTINE_AT as _CRASH_QUARANTINE_AT,
+)
+from repro.experiments.units import (
+    FailurePolicy,
+    UnitScheduler,
+    _coerce_policy,
+    _evaluate_unit,
+    _merge_units,
+    _save_checkpoint_traced,
+    _store_for,
+    _tasksets_for,
+    _UnitResult,
+    PointResult,
+    SweepResult,
+)
+from repro.experiments.units import FailureRecord as FailureRecord
+from repro.experiments.units import _failed_unit as _failed_unit
 from repro.faults import injection as faults
 from repro.faults.plan import FaultPlan
-from repro.generator.taskset_gen import GenerationConfig, generate_tasksets
+from repro.generator.taskset_gen import generate_tasksets
 from repro.model.taskset import TaskSet
-from repro.obs import events as obs
 from repro.obs.events import EventRecorder, TraceWriter
-
-
-class FailurePolicy(str, enum.Enum):
-    """What a failed taskset/protocol evaluation means for the ratios.
-
-    * ``RAISE`` — propagate the failure (the historical behaviour).
-    * ``SKIP`` — drop the pair from that protocol's denominator.
-    * ``COUNT_UNSCHEDULABLE`` — count the pair as unschedulable. This
-      is the conservative default: a ratio can only be under-reported
-      by a fault, never inflated.
-    """
-
-    RAISE = "raise"
-    SKIP = "skip"
-    COUNT_UNSCHEDULABLE = "count_unschedulable"
-
-
-def _coerce_policy(policy: "FailurePolicy | str") -> FailurePolicy:
-    try:
-        return FailurePolicy(policy)
-    except ValueError:
-        raise ExperimentError(
-            f"unknown failure policy {policy!r}; expected one of "
-            f"{[p.value for p in FailurePolicy]}"
-        ) from None
-
-
-@dataclass(frozen=True)
-class FailureRecord:
-    """One captured taskset/protocol failure in a sweep's ledger.
-
-    Attributes:
-        x: Sweep-point x value the failure occurred at.
-        protocol: Protocol whose evaluation failed.
-        seed: The point's generation seed.
-        taskset_index: Index of the task set within the point's sample.
-        taskset_digest: Stable digest (:meth:`TaskSet.digest`) of the
-            failing task set, for offline reproduction.
-        error_type: Exception class name.
-        message: Exception message.
-        degradation: Deepest degradation level reached before the
-            failure, when the solver reported one (``None`` otherwise).
-    """
-
-    x: float
-    protocol: str
-    seed: int
-    taskset_index: int
-    taskset_digest: str
-    error_type: str
-    message: str
-    degradation: int | None = None
-
-
-@dataclass(frozen=True)
-class PointResult:
-    """Schedulability ratios of all protocols at one sweep point.
-
-    ``analysis_stats`` aggregates the per-unit analysis-cache counters
-    (hits, misses, MILP/LP solves, screen hits) over the point's task
-    sets; empty when the evaluation bypassed the real analysis (e.g.
-    stubbed in tests or loaded from an old artifact).
-    """
-
-    x: float
-    ratios: Mapping[str, float]
-    sets_evaluated: int
-    elapsed_seconds: float
-    failures: tuple[FailureRecord, ...] = ()
-    analysis_stats: Mapping[str, int] = field(default_factory=dict)
-
-    def ratio(self, protocol: str) -> float:
-        return self.ratios[protocol]
-
-
-@dataclass(frozen=True)
-class SweepResult:
-    """A full experiment's series, one :class:`PointResult` per point.
-
-    Points are normalised to ascending x on construction, so a result
-    assembled from out-of-order completions (parallel execution,
-    merged checkpoints) yields the same ``series()``/``x_values`` as a
-    strictly sequential run.
-    """
-
-    config: ExperimentConfig
-    points: tuple[PointResult, ...]
-
-    def __post_init__(self) -> None:
-        pts = self.points
-        if any(pts[i].x > pts[i + 1].x for i in range(len(pts) - 1)):
-            object.__setattr__(
-                self,
-                "points",
-                tuple(sorted(pts, key=lambda p: p.x)),
-            )
-
-    def series(self, protocol: str) -> list[tuple[float, float]]:
-        """``(x, ratio)`` pairs of one protocol across the sweep."""
-        return [(p.x, p.ratios[protocol]) for p in self.points]
-
-    @property
-    def x_values(self) -> list[float]:
-        return [p.x for p in self.points]
-
-    @property
-    def failures(self) -> tuple[FailureRecord, ...]:
-        """The whole sweep's failure ledger, in point order."""
-        return tuple(f for p in self.points for f in p.failures)
-
-    def advantage(self, protocol: str, over: str) -> float:
-        """Largest ratio gap of ``protocol`` over ``over`` (paper-style
-        "improvements up to X%" statements)."""
-        if not self.points:
-            raise ExperimentError(
-                "advantage() on an empty sweep: no points were evaluated"
-            )
-        known = set(self.config.protocols)
-        for name in (protocol, over):
-            if name not in known:
-                raise ExperimentError(
-                    f"unknown protocol {name!r}; expected one of "
-                    f"{sorted(known)}"
-                )
-        return max(
-            p.ratios[protocol] - p.ratios[over] for p in self.points
-        )
-
-
-@dataclass(frozen=True)
-class _UnitResult:
-    """Verdict counts of one (point, task set) work unit.
-
-    Pure integer deltas plus the unit's failure ledger and cache
-    counters — everything the parent needs to merge units in task-set
-    order into a :class:`PointResult` that is bit-identical to the
-    sequential evaluation.
-    """
-
-    taskset_index: int
-    counts: Mapping[str, int]
-    attempted: Mapping[str, int]
-    failures: tuple[FailureRecord, ...]
-    cache_stats: Mapping[str, int]
-    elapsed_seconds: float
-    #: Buffered trace events of the unit (empty when tracing is off).
-    #: Workers never write trace files — they ship their events here
-    #: and the parent's TraceWriter persists them (single-writer rule).
-    events: tuple[Mapping[str, object], ...] = ()
-
-
-def _evaluate_unit(
-    point: SweepPoint,
-    config: ExperimentConfig,
-    seed: int,
-    taskset_index: int,
-    taskset: TaskSet,
-    policy: FailurePolicy,
-    options: AnalysisOptions | None,
-    recorder: EventRecorder | None = None,
-    death_check: "Callable[[str | None], None] | None" = None,
-    store: PersistentStore | None = None,
-) -> _UnitResult:
-    """Evaluate every protocol on one task set, inside a fresh cache scope.
-
-    Shared by the sequential and the parallel path, so both produce
-    the same verdicts, the same failure records in the same order, and
-    the same cache counters (the scope is per unit in both). With a
-    ``store`` the unit's fresh memory cache is backed by the shared
-    on-disk tier — the scoping stays per unit either way, which is what
-    keeps the counters deterministic across engines. With a
-    ``recorder`` the unit's analysis events (solves, cache traffic,
-    fixpoint iterations, per-protocol verdicts) are buffered and
-    returned on the unit result. ``death_check`` is the process-pool
-    path's ``worker.death`` injection hook (called at unit start and
-    before each protocol with the protocol name); it simulates the
-    worker dying at that instant, so it exists only where a real crash
-    could — sequential runs never pass one.
-    """
-    start = time.perf_counter()
-    counts = {protocol: 0 for protocol in config.protocols}
-    attempted = {protocol: 0 for protocol in config.protocols}
-    failures: list[FailureRecord] = []
-    scope = obs.recording(recorder) if recorder is not None else nullcontext()
-    with scope, cache_scope(AnalysisCache(persistent=store)) as cache:
-        if death_check is not None:
-            death_check(None)
-        for protocol in config.protocols:
-            if death_check is not None:
-                death_check(protocol)
-            protocol_start = time.perf_counter()
-            try:
-                verdict = is_schedulable(
-                    taskset,
-                    protocol,
-                    options=options,
-                    method=config.method,
-                    ls_policy=config.ls_policy,
-                )
-            except ReproError as exc:
-                if policy is FailurePolicy.RAISE:
-                    raise
-                degradation = getattr(exc, "degradation", None)
-                failures.append(
-                    FailureRecord(
-                        x=point.x,
-                        protocol=protocol,
-                        seed=seed,
-                        taskset_index=taskset_index,
-                        taskset_digest=taskset.digest(),
-                        error_type=type(exc).__name__,
-                        message=str(exc),
-                        degradation=(
-                            int(degradation) if degradation is not None else None
-                        ),
-                    )
-                )
-                obs.emit(
-                    "protocol.failure",
-                    dur=time.perf_counter() - protocol_start,
-                    protocol=protocol,
-                    error=type(exc).__name__,
-                )
-                if policy is FailurePolicy.COUNT_UNSCHEDULABLE:
-                    attempted[protocol] += 1
-                continue
-            attempted[protocol] += 1
-            if verdict:
-                counts[protocol] += 1
-            obs.emit(
-                "protocol.verdict",
-                dur=time.perf_counter() - protocol_start,
-                protocol=protocol,
-                schedulable=verdict,
-            )
-    return _UnitResult(
-        taskset_index=taskset_index,
-        counts=counts,
-        attempted=attempted,
-        failures=tuple(failures),
-        cache_stats=cache.stats(),
-        elapsed_seconds=time.perf_counter() - start,
-        events=recorder.drain() if recorder is not None else (),
-    )
-
-
-def _merge_units(
-    point: SweepPoint,
-    config: ExperimentConfig,
-    units: "list[_UnitResult]",
-    elapsed_seconds: float,
-) -> PointResult:
-    """Fold unit results (any completion order) into one point result.
-
-    Units are sorted by task-set index first, so failure ledgers and
-    summed counters are independent of completion order; the ratios
-    come from the summed integer counts — the exact division the
-    sequential path performs.
-    """
-    units = sorted(units, key=lambda u: u.taskset_index)
-    counts = {protocol: 0 for protocol in config.protocols}
-    attempted = {protocol: 0 for protocol in config.protocols}
-    stats: dict[str, int] = {}
-    failures: list[FailureRecord] = []
-    for unit in units:
-        for protocol in config.protocols:
-            counts[protocol] += unit.counts[protocol]
-            attempted[protocol] += unit.attempted[protocol]
-        for name, value in unit.cache_stats.items():
-            stats[name] = stats.get(name, 0) + value
-        failures.extend(unit.failures)
-    return PointResult(
-        x=point.x,
-        ratios={
-            p: (counts[p] / attempted[p]) if attempted[p] else 0.0
-            for p in config.protocols
-        },
-        sets_evaluated=len(units),
-        elapsed_seconds=elapsed_seconds,
-        failures=tuple(failures),
-        analysis_stats=stats,
-    )
 
 
 def run_point(
@@ -442,33 +188,69 @@ def run_point(
 # ----------------------------------------------------------------------
 # parallel engine
 # ----------------------------------------------------------------------
-@lru_cache(maxsize=4)
-def _tasksets_for(
-    generation: GenerationConfig, count: int, seed: int
-) -> tuple[TaskSet, ...]:
-    """Per-process memo of one point's generated sample.
-
-    Workers receive only (point index, task set index) and regenerate
-    the sample from the deterministic seed — identical to the
-    sequential path's — so task sets never cross process boundaries;
-    the memo amortises the generation over a point's many units.
-    """
-    return tuple(generate_tasksets(generation, count, seed))
-
-
-@lru_cache(maxsize=8)
-def _store_for(path: str) -> PersistentStore:
-    """Per-process memo of the shared on-disk cache tier.
-
-    Workers receive the database *path*, never a live store (sqlite
-    handles must not cross ``fork``); each process opens its own
-    connection once and reuses it across all its units.
-    """
-    return PersistentStore(path)
-
-
 def _marker_name(point_index: int, taskset_index: int, attempt: int) -> str:
     return f"{point_index}.{taskset_index}.{attempt}.inflight"
+
+
+def _owner_alive(pid: int) -> bool:
+    """Whether the process that stamped an ``.owner`` file still runs."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        # EPERM and friends: some process holds the pid — treat the
+        # directory as owned rather than reap a live run's markers.
+        return True
+    return True
+
+
+def sweep_stale_marker_dirs(writer: TraceWriter | None = None) -> int:
+    """Reap inflight-marker directories orphaned by a crashed parent.
+
+    A parent that dies between ``mkdtemp`` and its ``finally`` leaves
+    the whole ``repro-inflight-*`` directory behind. Each run stamps
+    its PID into the directory's ``.owner`` file at creation, so the
+    next startup can distinguish an orphan (owner PID no longer exists)
+    from a concurrently running sweep (owner alive) without consulting
+    wall-clock age — the same liveness test either way the markers
+    themselves rely on. Returns the number of directories removed and
+    surfaces a ``worker.markers_swept`` trace event when any were.
+    """
+    root = tempfile.gettempdir()
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return 0
+    swept = 0
+    for name in sorted(names):
+        if not name.startswith("repro-inflight-"):
+            continue
+        path = os.path.join(root, name)
+        try:
+            pid = int(
+                Path(path, ".owner").read_text(encoding="utf-8").strip()
+            )
+        except (OSError, ValueError):
+            # No readable owner stamp: either a sweep mid-creation or a
+            # foreign directory — never reap what we cannot attribute.
+            continue
+        if pid == os.getpid() or _owner_alive(pid):
+            continue
+        shutil.rmtree(path, ignore_errors=True)
+        swept += 1
+    if swept and writer is not None:
+        writer.emit("worker.markers_swept", dirs=swept)
+    return swept
+
+
+def _make_markers_root() -> str:
+    """Create this run's inflight-marker directory, PID-stamped."""
+    markers_root = tempfile.mkdtemp(prefix="repro-inflight-")
+    Path(markers_root, ".owner").write_text(
+        str(os.getpid()), encoding="utf-8"
+    )
+    return markers_root
 
 
 def _death_check_for(
@@ -572,87 +354,6 @@ def _worker_evaluate(
                 pass
 
 
-#: Crashes a single unit may cause before it is quarantined.
-_CRASH_QUARANTINE_AT = 2
-
-
-def _save_checkpoint_traced(
-    checkpoint_path: str,
-    config: ExperimentConfig,
-    completed: "dict[int, PointResult]",
-    point_index: int,
-    writer: TraceWriter | None,
-) -> None:
-    """One atomic checkpoint save, with its obs events on the trace.
-
-    The persistence layer emits through the module-level recorder
-    (retry attempts, injected torn writes); the parent normally has no
-    recorder installed, so one is scoped around the save and flushed
-    to the trace writer in a ``finally`` — fault events must reach the
-    trace even when the injected fault escalates to a simulated crash.
-    """
-    from repro.experiments.persistence import save_checkpoint
-
-    if writer is None:
-        save_checkpoint(checkpoint_path, config, completed, point=point_index)
-        return
-    recorder = EventRecorder()
-    try:
-        with obs.recording(recorder):
-            save_checkpoint(
-                checkpoint_path, config, completed, point=point_index
-            )
-    finally:
-        writer.write_events(recorder.drain(), point=point_index)
-    writer.emit("checkpoint.saved", point=point_index)
-
-
-def _failed_unit(
-    config: ExperimentConfig,
-    point_index: int,
-    taskset_index: int,
-    policy: FailurePolicy,
-    error_type: str,
-    message: str,
-) -> _UnitResult:
-    """Synthetic unit result for work no worker could complete.
-
-    Used for quarantined pool-killer units and for units whose worker
-    kept raising unexpected (non-Repro) exceptions: the parent
-    regenerates the task set — generation is deterministic and cheap
-    next to analysis — so the ledger still carries the digest needed
-    to reproduce the failure offline, and every protocol records one
-    :class:`FailureRecord` entering the ratios per the policy.
-    """
-    point = config.points[point_index]
-    seed = config.seed + point_index
-    taskset = _tasksets_for(point.generation, config.sets_per_point, seed)[
-        taskset_index
-    ]
-    count_it = policy is FailurePolicy.COUNT_UNSCHEDULABLE
-    return _UnitResult(
-        taskset_index=taskset_index,
-        counts={protocol: 0 for protocol in config.protocols},
-        attempted={
-            protocol: 1 if count_it else 0 for protocol in config.protocols
-        },
-        failures=tuple(
-            FailureRecord(
-                x=point.x,
-                protocol=protocol,
-                seed=seed,
-                taskset_index=taskset_index,
-                taskset_digest=taskset.digest(),
-                error_type=error_type,
-                message=message,
-            )
-            for protocol in config.protocols
-        ),
-        cache_stats={},
-        elapsed_seconds=0.0,
-    )
-
-
 def _run_experiment_parallel(
     config: ExperimentConfig,
     options: AnalysisOptions | None,
@@ -667,131 +368,29 @@ def _run_experiment_parallel(
 ) -> SweepResult:
     """Fan (point, task set) units over a process pool and merge.
 
-    The parent is the only writer of the checkpoint file: it collects
-    unit results as they complete and performs exactly one atomic
-    ``save_checkpoint`` when a point's last unit arrives, so a crash
-    can lose at most the in-flight points — never corrupt the file.
-    The same discipline covers the trace: workers ship buffered events
-    on their unit results and the parent appends them when a point
-    completes, in task-set order, so the aggregate trace content
-    matches the sequential run's.
-
-    Worker crashes do not abort the sweep: broken pools are respawned
-    and the implicated units are requeued, probed in isolation, and
-    quarantined into the failure ledger when they keep killing workers
-    (see the module docstring for the full protocol).
+    The bookkeeping half — pending ledger, crash counting, requeue /
+    probe / quarantine decisions, point completion with its single
+    atomic checkpoint write — lives in the dispatch-agnostic
+    :class:`UnitScheduler`; this function owns only what is specific
+    to the process-pool transport: submitting pending units, draining
+    futures, and attributing broken pools to their in-flight units via
+    the on-disk marker protocol.
     """
-    point_started = {
-        index: time.perf_counter()
-        for index in range(len(config.points))
-        if index not in completed
-    }
-    unit_results: dict[int, dict[int, _UnitResult]] = {
-        index: {} for index in point_started
-    }
-    # Unit key -> next attempt number; removed on success/quarantine.
-    pending: dict[tuple[int, int], int] = {
-        (point_index, taskset_index): 0
-        for point_index in sorted(point_started)
-        for taskset_index in range(config.sets_per_point)
-    }
-    crash_counts: dict[tuple[int, int], int] = {}
-    respawn_budget = 4 + 2 * len(pending)
+    scheduler = UnitScheduler(
+        config,
+        policy,
+        completed,
+        checkpoint_path=checkpoint_path,
+        writer=writer,
+        fault_plan=fault_plan,
+        progress=progress,
+    )
+    respawn_budget = 4 + 2 * len(scheduler.pending)
     respawns = 0
 
     def emit(name: str, **kwargs: object) -> None:
         if writer is not None:
             writer.emit(name, **kwargs)  # type: ignore[arg-type]
-
-    def emit_synthesized_death(key: "tuple[int, int]", attempt: int) -> None:
-        # The worker's own buffered fault.worker.death event died with
-        # the process; re-derive it from the plan's static predicates
-        # so the trace still proves the injection. (A real, un-injected
-        # crash has no matching spec and emits nothing here.)
-        if writer is None or fault_plan is None:
-            return
-        spec = fault_plan.matching(
-            "worker.death", point=key[0], unit=key[1], attempt=attempt
-        )
-        if spec is not None:
-            writer.emit(
-                "fault.worker.death",
-                point=key[0],
-                unit=key[1],
-                mode=spec.mode,
-                plan=fault_plan.name,
-                synthesized=True,
-            )
-
-    def record_unit(point_index: int, unit: _UnitResult) -> None:
-        key = (point_index, unit.taskset_index)
-        if key not in pending:
-            return  # duplicate of a unit already satisfied
-        del pending[key]
-        bucket = unit_results[point_index]
-        bucket[unit.taskset_index] = unit
-        if len(bucket) < config.sets_per_point:
-            return
-        result = _merge_units(
-            config.points[point_index],
-            config,
-            list(bucket.values()),
-            time.perf_counter() - point_started[point_index],
-        )
-        completed[point_index] = result
-        if writer is not None:
-            for index in sorted(bucket):
-                writer.write_events(
-                    bucket[index].events, point=point_index, unit=index
-                )
-            writer.emit(
-                "point.end",
-                dur=result.elapsed_seconds,
-                point=point_index,
-                x=result.x,
-                failures=len(result.failures),
-            )
-        if checkpoint_path is not None:
-            _save_checkpoint_traced(
-                checkpoint_path, config, completed, point_index, writer
-            )
-        if progress is not None:
-            progress(result)
-
-    def record_crash(
-        key: "tuple[int, int]", attempt: int, error_type: str, message: str
-    ) -> None:
-        """Count one crash/unexpected failure of a pending unit and
-        either requeue it (attempt + 1) or give up on it."""
-        crash_counts[key] = crash_counts.get(key, 0) + 1
-        emit_synthesized_death(key, attempt)
-        if crash_counts[key] < _CRASH_QUARANTINE_AT:
-            pending[key] = attempt + 1
-            emit(
-                "worker.requeued",
-                point=key[0],
-                unit=key[1],
-                attempt=attempt + 1,
-                error=error_type,
-            )
-            return
-        if policy is FailurePolicy.RAISE:
-            raise WorkerCrashError(
-                f"work unit (point {key[0]}, set {key[1]}) failed "
-                f"{crash_counts[key]} worker processes "
-                f"({error_type}: {message}); quarantined"
-            )
-        emit(
-            "worker.quarantined",
-            point=key[0],
-            unit=key[1],
-            crashes=crash_counts[key],
-            error=error_type,
-        )
-        record_unit(
-            key[0],
-            _failed_unit(config, key[0], key[1], policy, error_type, message),
-        )
 
     def handle_breakage(markers_root: str) -> None:
         """Attribute a broken pool to its in-flight units via markers."""
@@ -808,16 +407,16 @@ def _run_experiment_parallel(
             )
         emit("worker.pool_broken", suspects=len(suspects))
         for key, attempt in sorted(suspects):
-            if key not in pending:
+            if key not in scheduler.pending:
                 continue  # its result landed before the pool died
             emit(
                 "worker.crash",
                 point=key[0],
                 unit=key[1],
                 attempt=attempt,
-                crashes=crash_counts.get(key, 0) + 1,
+                crashes=scheduler.crash_counts.get(key, 0) + 1,
             )
-            record_crash(
+            scheduler.record_crash(
                 key,
                 attempt,
                 "WorkerCrashError",
@@ -827,22 +426,20 @@ def _run_experiment_parallel(
         # ate them): nothing to attribute — the respawn budget alone
         # bounds how often this may repeat.
 
-    markers_root = tempfile.mkdtemp(prefix="repro-inflight-")
+    markers_root = _make_markers_root()
     try:
-        while pending:
+        while scheduler.pending:
             # Any unit already implicated in a crash is probed alone in
             # a single-worker pool: if that pool breaks too, the culprit
             # is unambiguous; innocent collateral units pass the probe.
-            suspect_keys = sorted(
-                key for key in pending if crash_counts.get(key, 0) > 0
-            )
+            suspect_keys = scheduler.suspects()
             if suspect_keys:
                 batch = [suspect_keys[0]]
                 workers = 1
             else:
-                batch = sorted(pending)
+                batch = sorted(scheduler.pending)
                 workers = min(jobs, len(batch))
-            batch_attempts = {key: pending[key] for key in batch}
+            batch_attempts = {key: scheduler.pending[key] for key in batch}
             broke = False
             pool = ProcessPoolExecutor(max_workers=workers)
             try:
@@ -888,11 +485,11 @@ def _run_experiment_parallel(
                             # ledgered — never silently dropped.
                             if policy is FailurePolicy.RAISE:
                                 raise
-                            record_crash(
+                            scheduler.record_crash(
                                 key, attempt, type(exc).__name__, str(exc)
                             )
                         else:
-                            record_unit(point_index, unit)
+                            scheduler.record_unit(point_index, unit)
             finally:
                 pool.shutdown(wait=False, cancel_futures=True)
             if broke:
@@ -901,19 +498,14 @@ def _run_experiment_parallel(
                     raise ExperimentError(
                         f"parallel sweep aborted: worker pools kept "
                         f"breaking ({respawns} respawns for "
-                        f"{len(crash_counts)} implicated units) — the "
-                        f"environment is killing workers faster than "
-                        f"quarantine can isolate them"
+                        f"{len(scheduler.crash_counts)} implicated units) "
+                        f"— the environment is killing workers faster "
+                        f"than quarantine can isolate them"
                     )
                 handle_breakage(markers_root)
     finally:
         shutil.rmtree(markers_root, ignore_errors=True)
-    return SweepResult(
-        config=config,
-        points=tuple(
-            completed[index] for index in range(len(config.points))
-        ),
-    )
+    return scheduler.result()
 
 
 def run_experiment(
@@ -1012,6 +604,7 @@ def run_experiment(
                 )
                 for problem in recovered:
                     writer.emit("checkpoint.recovered", detail=problem)
+            sweep_stale_marker_dirs(writer)
             run_start = time.perf_counter()
             if jobs > 1:
                 result = _run_experiment_parallel(

@@ -1,0 +1,748 @@
+"""Dispatch-agnostic (point, task set) work units and their scheduler.
+
+The sweep engines — sequential, ``--jobs N`` process pool, and the
+:mod:`repro.service` coordinator — all decompose an experiment into the
+same pure work unit: evaluate every protocol on one task set of one
+sweep point. This module owns everything about those units that does
+*not* depend on how they are shipped to a CPU:
+
+* the result dataclasses (:class:`PointResult`, :class:`SweepResult`,
+  :class:`FailureRecord`, :class:`_UnitResult`) and the
+  :class:`FailurePolicy` that decides how failures enter the ratios;
+* :func:`_evaluate_unit` — the one evaluation function every engine
+  calls, inside a fresh per-unit cache scope, so verdicts, failure
+  ledgers, and cache counters are bit-identical across engines;
+* :func:`_merge_units` — the completion-order-independent fold of unit
+  results into a point result;
+* :class:`UnitScheduler` — the engine-independent bookkeeping half of
+  the PR 5 crash-recovery protocol: which units are pending at which
+  attempt, which have crashed how often, requeue-or-quarantine
+  decisions, point completion (trace append in task-set order, one
+  atomic checkpoint write, progress callback). The process-pool engine
+  drives it from a ``ProcessPoolExecutor`` loop; the sweep service
+  drives it from an asyncio dispatch loop; both inherit identical
+  recovery semantics;
+* :func:`unit_digest` / the unit payload codec — the content address
+  under which the sweep service memoises *finished unit results* in the
+  persistent store. The digest covers everything the unit's counts
+  depend on (generation parameters, seed, task-set index, protocols,
+  policy, analysis options) and deliberately **excludes**
+  ``sets_per_point``: :func:`repro.generator.taskset_gen.generate_tasksets`
+  draws sequentially from one seeded stream, so task set ``i`` is
+  identical no matter how many sets a sweep requests — an overlapping
+  (larger) sweep re-uses every unit the smaller one already solved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Mapping
+
+from repro.analysis.cache import AnalysisCache, cache_scope
+from repro.analysis.cache import digest as _cache_digest
+from repro.analysis.interface import AnalysisOptions
+from repro.analysis.schedulability import is_schedulable
+from repro.analysis.store import PersistentStore
+from repro.errors import ExperimentError, ReproError, WorkerCrashError
+from repro.experiments.config import ExperimentConfig, SweepPoint
+from repro.faults.plan import FaultPlan
+from repro.generator.taskset_gen import GenerationConfig, generate_tasksets
+from repro.model.taskset import TaskSet
+from repro.obs import events as obs
+from repro.obs.events import EventRecorder, TraceWriter
+
+
+class FailurePolicy(str, enum.Enum):
+    """What a failed taskset/protocol evaluation means for the ratios.
+
+    * ``RAISE`` — propagate the failure (the historical behaviour).
+    * ``SKIP`` — drop the pair from that protocol's denominator.
+    * ``COUNT_UNSCHEDULABLE`` — count the pair as unschedulable. This
+      is the conservative default: a ratio can only be under-reported
+      by a fault, never inflated.
+    """
+
+    RAISE = "raise"
+    SKIP = "skip"
+    COUNT_UNSCHEDULABLE = "count_unschedulable"
+
+
+def _coerce_policy(policy: "FailurePolicy | str") -> FailurePolicy:
+    try:
+        return FailurePolicy(policy)
+    except ValueError:
+        raise ExperimentError(
+            f"unknown failure policy {policy!r}; expected one of "
+            f"{[p.value for p in FailurePolicy]}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One captured taskset/protocol failure in a sweep's ledger.
+
+    Attributes:
+        x: Sweep-point x value the failure occurred at.
+        protocol: Protocol whose evaluation failed.
+        seed: The point's generation seed.
+        taskset_index: Index of the task set within the point's sample.
+        taskset_digest: Stable digest (:meth:`TaskSet.digest`) of the
+            failing task set, for offline reproduction.
+        error_type: Exception class name.
+        message: Exception message.
+        degradation: Deepest degradation level reached before the
+            failure, when the solver reported one (``None`` otherwise).
+    """
+
+    x: float
+    protocol: str
+    seed: int
+    taskset_index: int
+    taskset_digest: str
+    error_type: str
+    message: str
+    degradation: int | None = None
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Schedulability ratios of all protocols at one sweep point.
+
+    ``analysis_stats`` aggregates the per-unit analysis-cache counters
+    (hits, misses, MILP/LP solves, screen hits) over the point's task
+    sets; empty when the evaluation bypassed the real analysis (e.g.
+    stubbed in tests or loaded from an old artifact).
+    """
+
+    x: float
+    ratios: Mapping[str, float]
+    sets_evaluated: int
+    elapsed_seconds: float
+    failures: tuple[FailureRecord, ...] = ()
+    analysis_stats: Mapping[str, int] = field(default_factory=dict)
+
+    def ratio(self, protocol: str) -> float:
+        return self.ratios[protocol]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full experiment's series, one :class:`PointResult` per point.
+
+    Points are normalised to ascending x on construction, so a result
+    assembled from out-of-order completions (parallel execution,
+    merged checkpoints) yields the same ``series()``/``x_values`` as a
+    strictly sequential run.
+    """
+
+    config: ExperimentConfig
+    points: tuple[PointResult, ...]
+
+    def __post_init__(self) -> None:
+        pts = self.points
+        if any(pts[i].x > pts[i + 1].x for i in range(len(pts) - 1)):
+            object.__setattr__(
+                self,
+                "points",
+                tuple(sorted(pts, key=lambda p: p.x)),
+            )
+
+    def series(self, protocol: str) -> list[tuple[float, float]]:
+        """``(x, ratio)`` pairs of one protocol across the sweep."""
+        return [(p.x, p.ratios[protocol]) for p in self.points]
+
+    @property
+    def x_values(self) -> list[float]:
+        return [p.x for p in self.points]
+
+    @property
+    def failures(self) -> tuple[FailureRecord, ...]:
+        """The whole sweep's failure ledger, in point order."""
+        return tuple(f for p in self.points for f in p.failures)
+
+    def advantage(self, protocol: str, over: str) -> float:
+        """Largest ratio gap of ``protocol`` over ``over`` (paper-style
+        "improvements up to X%" statements)."""
+        if not self.points:
+            raise ExperimentError(
+                "advantage() on an empty sweep: no points were evaluated"
+            )
+        known = set(self.config.protocols)
+        for name in (protocol, over):
+            if name not in known:
+                raise ExperimentError(
+                    f"unknown protocol {name!r}; expected one of "
+                    f"{sorted(known)}"
+                )
+        return max(
+            p.ratios[protocol] - p.ratios[over] for p in self.points
+        )
+
+
+@dataclass(frozen=True)
+class _UnitResult:
+    """Verdict counts of one (point, task set) work unit.
+
+    Pure integer deltas plus the unit's failure ledger and cache
+    counters — everything the parent needs to merge units in task-set
+    order into a :class:`PointResult` that is bit-identical to the
+    sequential evaluation.
+    """
+
+    taskset_index: int
+    counts: Mapping[str, int]
+    attempted: Mapping[str, int]
+    failures: tuple[FailureRecord, ...]
+    cache_stats: Mapping[str, int]
+    elapsed_seconds: float
+    #: Buffered trace events of the unit (empty when tracing is off).
+    #: Workers never write trace files — they ship their events here
+    #: and the parent's TraceWriter persists them (single-writer rule).
+    events: tuple[Mapping[str, object], ...] = ()
+
+
+def _evaluate_unit(
+    point: SweepPoint,
+    config: ExperimentConfig,
+    seed: int,
+    taskset_index: int,
+    taskset: TaskSet,
+    policy: FailurePolicy,
+    options: AnalysisOptions | None,
+    recorder: EventRecorder | None = None,
+    death_check: "Callable[[str | None], None] | None" = None,
+    store: PersistentStore | None = None,
+) -> _UnitResult:
+    """Evaluate every protocol on one task set, inside a fresh cache scope.
+
+    Shared by the sequential and the parallel path, so both produce
+    the same verdicts, the same failure records in the same order, and
+    the same cache counters (the scope is per unit in both). With a
+    ``store`` the unit's fresh memory cache is backed by the shared
+    on-disk tier — the scoping stays per unit either way, which is what
+    keeps the counters deterministic across engines. With a
+    ``recorder`` the unit's analysis events (solves, cache traffic,
+    fixpoint iterations, per-protocol verdicts) are buffered and
+    returned on the unit result. ``death_check`` is the process-pool
+    path's ``worker.death`` injection hook (called at unit start and
+    before each protocol with the protocol name); it simulates the
+    worker dying at that instant, so it exists only where a real crash
+    could — sequential runs never pass one.
+    """
+    start = time.perf_counter()
+    counts = {protocol: 0 for protocol in config.protocols}
+    attempted = {protocol: 0 for protocol in config.protocols}
+    failures: list[FailureRecord] = []
+    scope = obs.recording(recorder) if recorder is not None else nullcontext()
+    with scope, cache_scope(AnalysisCache(persistent=store)) as cache:
+        if death_check is not None:
+            death_check(None)
+        for protocol in config.protocols:
+            if death_check is not None:
+                death_check(protocol)
+            protocol_start = time.perf_counter()
+            try:
+                verdict = is_schedulable(
+                    taskset,
+                    protocol,
+                    options=options,
+                    method=config.method,
+                    ls_policy=config.ls_policy,
+                )
+            except ReproError as exc:
+                if policy is FailurePolicy.RAISE:
+                    raise
+                degradation = getattr(exc, "degradation", None)
+                failures.append(
+                    FailureRecord(
+                        x=point.x,
+                        protocol=protocol,
+                        seed=seed,
+                        taskset_index=taskset_index,
+                        taskset_digest=taskset.digest(),
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        degradation=(
+                            int(degradation) if degradation is not None else None
+                        ),
+                    )
+                )
+                obs.emit(
+                    "protocol.failure",
+                    dur=time.perf_counter() - protocol_start,
+                    protocol=protocol,
+                    error=type(exc).__name__,
+                )
+                if policy is FailurePolicy.COUNT_UNSCHEDULABLE:
+                    attempted[protocol] += 1
+                continue
+            attempted[protocol] += 1
+            if verdict:
+                counts[protocol] += 1
+            obs.emit(
+                "protocol.verdict",
+                dur=time.perf_counter() - protocol_start,
+                protocol=protocol,
+                schedulable=verdict,
+            )
+    return _UnitResult(
+        taskset_index=taskset_index,
+        counts=counts,
+        attempted=attempted,
+        failures=tuple(failures),
+        cache_stats=cache.stats(),
+        elapsed_seconds=time.perf_counter() - start,
+        events=recorder.drain() if recorder is not None else (),
+    )
+
+
+def _merge_units(
+    point: SweepPoint,
+    config: ExperimentConfig,
+    units: "list[_UnitResult]",
+    elapsed_seconds: float,
+) -> PointResult:
+    """Fold unit results (any completion order) into one point result.
+
+    Units are sorted by task-set index first, so failure ledgers and
+    summed counters are independent of completion order; the ratios
+    come from the summed integer counts — the exact division the
+    sequential path performs.
+    """
+    units = sorted(units, key=lambda u: u.taskset_index)
+    counts = {protocol: 0 for protocol in config.protocols}
+    attempted = {protocol: 0 for protocol in config.protocols}
+    stats: dict[str, int] = {}
+    failures: list[FailureRecord] = []
+    for unit in units:
+        for protocol in config.protocols:
+            counts[protocol] += unit.counts[protocol]
+            attempted[protocol] += unit.attempted[protocol]
+        for name, value in unit.cache_stats.items():
+            stats[name] = stats.get(name, 0) + value
+        failures.extend(unit.failures)
+    return PointResult(
+        x=point.x,
+        ratios={
+            p: (counts[p] / attempted[p]) if attempted[p] else 0.0
+            for p in config.protocols
+        },
+        sets_evaluated=len(units),
+        elapsed_seconds=elapsed_seconds,
+        failures=tuple(failures),
+        analysis_stats=stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# per-process memos shared by every parallel engine
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=4)
+def _tasksets_for(
+    generation: GenerationConfig, count: int, seed: int
+) -> tuple[TaskSet, ...]:
+    """Per-process memo of one point's generated sample.
+
+    Workers receive only (point index, task set index) and regenerate
+    the sample from the deterministic seed — identical to the
+    sequential path's — so task sets never cross process boundaries;
+    the memo amortises the generation over a point's many units.
+    """
+    return tuple(generate_tasksets(generation, count, seed))
+
+
+@lru_cache(maxsize=8)
+def _store_for(path: str) -> PersistentStore:
+    """Per-process memo of the shared on-disk cache tier.
+
+    Workers receive the database *path*, never a live store (sqlite
+    handles must not cross ``fork``); each process opens its own
+    connection once and reuses it across all its units.
+    """
+    return PersistentStore(path)
+
+
+#: Crashes a single unit may cause before it is quarantined.
+_CRASH_QUARANTINE_AT = 2
+
+
+def _save_checkpoint_traced(
+    checkpoint_path: str,
+    config: ExperimentConfig,
+    completed: "dict[int, PointResult]",
+    point_index: int,
+    writer: TraceWriter | None,
+) -> None:
+    """One atomic checkpoint save, with its obs events on the trace.
+
+    The persistence layer emits through the module-level recorder
+    (retry attempts, injected torn writes); the parent normally has no
+    recorder installed, so one is scoped around the save and flushed
+    to the trace writer in a ``finally`` — fault events must reach the
+    trace even when the injected fault escalates to a simulated crash.
+    """
+    from repro.experiments.persistence import save_checkpoint
+
+    if writer is None:
+        save_checkpoint(checkpoint_path, config, completed, point=point_index)
+        return
+    recorder = EventRecorder()
+    try:
+        with obs.recording(recorder):
+            save_checkpoint(
+                checkpoint_path, config, completed, point=point_index
+            )
+    finally:
+        writer.write_events(recorder.drain(), point=point_index)
+    writer.emit("checkpoint.saved", point=point_index)
+
+
+def _failed_unit(
+    config: ExperimentConfig,
+    point_index: int,
+    taskset_index: int,
+    policy: FailurePolicy,
+    error_type: str,
+    message: str,
+) -> _UnitResult:
+    """Synthetic unit result for work no worker could complete.
+
+    Used for quarantined pool-killer units and for units whose worker
+    kept raising unexpected (non-Repro) exceptions: the parent
+    regenerates the task set — generation is deterministic and cheap
+    next to analysis — so the ledger still carries the digest needed
+    to reproduce the failure offline, and every protocol records one
+    :class:`FailureRecord` entering the ratios per the policy.
+    """
+    point = config.points[point_index]
+    seed = config.seed + point_index
+    taskset = _tasksets_for(point.generation, config.sets_per_point, seed)[
+        taskset_index
+    ]
+    count_it = policy is FailurePolicy.COUNT_UNSCHEDULABLE
+    return _UnitResult(
+        taskset_index=taskset_index,
+        counts={protocol: 0 for protocol in config.protocols},
+        attempted={
+            protocol: 1 if count_it else 0 for protocol in config.protocols
+        },
+        failures=tuple(
+            FailureRecord(
+                x=point.x,
+                protocol=protocol,
+                seed=seed,
+                taskset_index=taskset_index,
+                taskset_digest=taskset.digest(),
+                error_type=error_type,
+                message=message,
+            )
+            for protocol in config.protocols
+        ),
+        cache_stats={},
+        elapsed_seconds=0.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# content addressing of finished units (the sweep-service store tier)
+# ----------------------------------------------------------------------
+def unit_digest(
+    config: ExperimentConfig,
+    point_index: int,
+    taskset_index: int,
+    options: AnalysisOptions | None,
+    policy: "FailurePolicy | str",
+) -> str:
+    """Content address of one unit's *finished result*.
+
+    Covers everything the unit's counts, ledger entries, and verdicts
+    are a function of: the point's generation parameters and x value,
+    the derived seed, the task-set index, the protocol list, the LS
+    policy, the analysis method and options, and the failure policy
+    (which decides how failures enter ``attempted``). Deliberately
+    absent: ``sets_per_point`` (task set ``i`` is identical regardless
+    of how many sets are drawn after it — sequential seeded stream) and
+    the experiment's name/x-label (pure labels). Two sweeps that
+    overlap in these inputs share unit entries, which is what lets the
+    sweep service answer a repeated or widened sweep from the store.
+    """
+    point = config.points[point_index]
+    generation = dataclasses.asdict(point.generation)
+    return _cache_digest(
+        (
+            "unit",
+            tuple(sorted(generation.items())),
+            point.x,
+            config.seed + point_index,
+            taskset_index,
+            tuple(config.protocols),
+            config.ls_policy,
+            config.method,
+            repr(options if options is not None else AnalysisOptions()),
+            _coerce_policy(policy).value,
+        )
+    )
+
+
+def unit_to_payload(unit: _UnitResult) -> dict:
+    """The store payload of a finished unit: its pure content.
+
+    Only the deterministic substance is persisted — verdict counts,
+    attempted counts, and the failure ledger. Cache counters, elapsed
+    wall-clock, and buffered events are *runtime* descriptions of how
+    the result was obtained and are synthesised afresh when the unit is
+    served (see :func:`served_unit`); storing them would make a warm
+    sweep report solves it never performed.
+    """
+    return {
+        "taskset_index": unit.taskset_index,
+        "counts": dict(unit.counts),
+        "attempted": dict(unit.attempted),
+        "failures": [dataclasses.asdict(f) for f in unit.failures],
+    }
+
+
+def served_unit(payload: Mapping[str, object], trace: bool = False) -> _UnitResult:
+    """Rebuild a stored unit payload as a freshly *served* unit result.
+
+    The served unit's ``cache_stats`` contain exactly one nonzero
+    counter — ``unit_store.hits`` — bumped through a scratch
+    :class:`AnalysisCache` under a recorder scope, so the trace carries
+    the matching ``cache.unit_store.hits`` event and the profiler's
+    trace-vs-checkpoint reconciliation holds for warm sweeps by the
+    same construction as for cold ones. Elapsed time is zero: the unit
+    cost no analysis.
+    """
+    recorder = EventRecorder() if trace else None
+    scratch = AnalysisCache()
+    scope = obs.recording(recorder) if recorder is not None else nullcontext()
+    with scope:
+        scratch.bump("unit_store.hits")
+    failures = payload.get("failures", [])
+    if not isinstance(failures, list):
+        raise ExperimentError(
+            f"stored unit payload has malformed failures: {failures!r}"
+        )
+    return _UnitResult(
+        taskset_index=int(payload["taskset_index"]),  # type: ignore[arg-type]
+        counts={str(k): int(v) for k, v in dict(payload["counts"]).items()},  # type: ignore[arg-type]
+        attempted={
+            str(k): int(v) for k, v in dict(payload["attempted"]).items()  # type: ignore[arg-type]
+        },
+        failures=tuple(FailureRecord(**f) for f in failures),
+        cache_stats=scratch.stats(),
+        elapsed_seconds=0.0,
+        events=recorder.drain() if recorder is not None else (),
+    )
+
+
+def unit_from_wire(raw: Mapping[str, object]) -> _UnitResult:
+    """Decode a worker's full unit result from its wire payload."""
+    failures = raw.get("failures", [])
+    events = raw.get("events", [])
+    if not isinstance(failures, list) or not isinstance(events, list):
+        raise ExperimentError("malformed unit result on the wire")
+    return _UnitResult(
+        taskset_index=int(raw["taskset_index"]),  # type: ignore[arg-type]
+        counts=dict(raw["counts"]),  # type: ignore[arg-type]
+        attempted=dict(raw["attempted"]),  # type: ignore[arg-type]
+        failures=tuple(FailureRecord(**f) for f in failures),
+        cache_stats=dict(raw["cache_stats"]),  # type: ignore[arg-type]
+        elapsed_seconds=float(raw["elapsed_seconds"]),  # type: ignore[arg-type]
+        events=tuple(events),
+    )
+
+
+def unit_to_wire(unit: _UnitResult) -> dict:
+    """Encode a full unit result (counters, events and all) for the wire."""
+    return {
+        "taskset_index": unit.taskset_index,
+        "counts": dict(unit.counts),
+        "attempted": dict(unit.attempted),
+        "failures": [dataclasses.asdict(f) for f in unit.failures],
+        "cache_stats": dict(unit.cache_stats),
+        "elapsed_seconds": unit.elapsed_seconds,
+        "events": [dict(e) for e in unit.events],
+    }
+
+
+# ----------------------------------------------------------------------
+# the dispatch-agnostic scheduler
+# ----------------------------------------------------------------------
+class UnitScheduler:
+    """Engine-independent unit bookkeeping and crash recovery.
+
+    Owns the pending-unit ledger (unit key → next attempt number), the
+    per-unit crash counts, the per-point result buckets, and the point
+    completion pipeline (merge in task-set order → trace append →
+    atomic checkpoint write → progress callback). It never dispatches
+    anything itself: the process-pool engine submits pending units to a
+    ``ProcessPoolExecutor`` and feeds outcomes back through
+    :meth:`record_unit`/:meth:`record_crash`; the sweep-service
+    coordinator does the same from an asyncio loop over remote workers.
+    Both therefore share the exact requeue → probe/retry → quarantine
+    semantics the chaos tests pin.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        policy: FailurePolicy,
+        completed: "dict[int, PointResult]",
+        *,
+        checkpoint_path: "str | None" = None,
+        writer: TraceWriter | None = None,
+        fault_plan: FaultPlan | None = None,
+        progress: "Callable[[PointResult], None] | None" = None,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.completed = completed
+        self.checkpoint_path = checkpoint_path
+        self.writer = writer
+        self.fault_plan = fault_plan
+        self.progress = progress
+        self._point_started = {
+            index: time.perf_counter()
+            for index in range(len(config.points))
+            if index not in completed
+        }
+        self._unit_results: dict[int, dict[int, _UnitResult]] = {
+            index: {} for index in self._point_started
+        }
+        #: Unit key -> next attempt number; removed on success/quarantine.
+        self.pending: dict[tuple[int, int], int] = {
+            (point_index, taskset_index): 0
+            for point_index in sorted(self._point_started)
+            for taskset_index in range(config.sets_per_point)
+        }
+        self.crash_counts: dict[tuple[int, int], int] = {}
+
+    @property
+    def done(self) -> bool:
+        return not self.pending
+
+    def suspects(self) -> "list[tuple[int, int]]":
+        """Pending units already implicated in at least one crash."""
+        return sorted(
+            key for key in self.pending if self.crash_counts.get(key, 0) > 0
+        )
+
+    def _emit(self, name: str, **kwargs: object) -> None:
+        if self.writer is not None:
+            self.writer.emit(name, **kwargs)  # type: ignore[arg-type]
+
+    def _emit_synthesized_death(
+        self, key: "tuple[int, int]", attempt: int
+    ) -> None:
+        # The worker's own buffered fault.worker.death event died with
+        # the process; re-derive it from the plan's static predicates
+        # so the trace still proves the injection. (A real, un-injected
+        # crash has no matching spec and emits nothing here.)
+        if self.writer is None or self.fault_plan is None:
+            return
+        spec = self.fault_plan.matching(
+            "worker.death", point=key[0], unit=key[1], attempt=attempt
+        )
+        if spec is not None:
+            self.writer.emit(
+                "fault.worker.death",
+                point=key[0],
+                unit=key[1],
+                mode=spec.mode,
+                plan=self.fault_plan.name,
+                synthesized=True,
+            )
+
+    def record_unit(self, point_index: int, unit: _UnitResult) -> None:
+        """Accept one finished unit; complete the point on its last one."""
+        key = (point_index, unit.taskset_index)
+        if key not in self.pending:
+            return  # duplicate of a unit already satisfied
+        del self.pending[key]
+        bucket = self._unit_results[point_index]
+        bucket[unit.taskset_index] = unit
+        if len(bucket) < self.config.sets_per_point:
+            return
+        result = _merge_units(
+            self.config.points[point_index],
+            self.config,
+            list(bucket.values()),
+            time.perf_counter() - self._point_started[point_index],
+        )
+        self.completed[point_index] = result
+        if self.writer is not None:
+            for index in sorted(bucket):
+                self.writer.write_events(
+                    bucket[index].events, point=point_index, unit=index
+                )
+            self.writer.emit(
+                "point.end",
+                dur=result.elapsed_seconds,
+                point=point_index,
+                x=result.x,
+                failures=len(result.failures),
+            )
+        if self.checkpoint_path is not None:
+            _save_checkpoint_traced(
+                self.checkpoint_path,
+                self.config,
+                self.completed,
+                point_index,
+                self.writer,
+            )
+        if self.progress is not None:
+            self.progress(result)
+
+    def record_crash(
+        self, key: "tuple[int, int]", attempt: int, error_type: str,
+        message: str,
+    ) -> None:
+        """Count one crash/unexpected failure of a pending unit and
+        either requeue it (attempt + 1) or give up on it."""
+        self.crash_counts[key] = self.crash_counts.get(key, 0) + 1
+        self._emit_synthesized_death(key, attempt)
+        if self.crash_counts[key] < _CRASH_QUARANTINE_AT:
+            self.pending[key] = attempt + 1
+            self._emit(
+                "worker.requeued",
+                point=key[0],
+                unit=key[1],
+                attempt=attempt + 1,
+                error=error_type,
+            )
+            return
+        if self.policy is FailurePolicy.RAISE:
+            raise WorkerCrashError(
+                f"work unit (point {key[0]}, set {key[1]}) failed "
+                f"{self.crash_counts[key]} worker processes "
+                f"({error_type}: {message}); quarantined"
+            )
+        self._emit(
+            "worker.quarantined",
+            point=key[0],
+            unit=key[1],
+            crashes=self.crash_counts[key],
+            error=error_type,
+        )
+        self.record_unit(
+            key[0],
+            _failed_unit(
+                self.config, key[0], key[1], self.policy, error_type, message
+            ),
+        )
+
+    def result(self) -> SweepResult:
+        """The finished sweep (every point must have completed)."""
+        return SweepResult(
+            config=self.config,
+            points=tuple(
+                self.completed[index]
+                for index in range(len(self.config.points))
+            ),
+        )

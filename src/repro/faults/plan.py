@@ -62,6 +62,11 @@ SITES: dict[str, tuple[str, ...]] = {
     #   garbage -> the payload is replaced by non-JSON bytes
     #   torn    -> only a prefix of the payload reaches the row
     "cache.corrupt": ("garbage", "torn"),
+    # A sweep-service worker's connection to the coordinator is cut
+    # mid-unit (network partition, worker host reboot):
+    #   drop -> the worker closes its socket and exits without sending
+    #           the unit result; the coordinator must requeue the unit
+    "service.disconnect": ("drop",),
 }
 
 

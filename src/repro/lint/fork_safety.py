@@ -20,7 +20,13 @@ collects the project classes its annotations mention, transitively
 closes over their field annotations, and flags any class in that
 pickled surface whose methods assign a connection, handle, or unseeded
 RNG to ``self`` (classes that curate their state via ``__getstate__``
-or ``__reduce__`` are exempt).
+or ``__reduce__`` are exempt). The sweep service added a second spawn
+boundary with the same pickling semantics: a
+``multiprocessing.Process(target=...)`` worker is forked/spawned with
+its target and args pickled exactly like a pool submission, so
+``Process`` targets join the audit — they must be module-level
+functions in the spawning module and their annotation-derived pickled
+surface is checked with the same resource rules.
 
 The second half enforces the scope-stack discipline introduced with
 ``cache_scope``/``injecting``/``recording``: the module-level LIFO
@@ -35,6 +41,7 @@ import ast
 from typing import Iterator, Mapping
 
 from repro.lint.dataflow import (
+    CallSite,
     ClassInfo,
     ProjectModel,
     call_name,
@@ -171,6 +178,80 @@ def _uses_process_pool(module: SourceModule) -> bool:
     return False
 
 
+def _uses_multiprocessing(module: SourceModule) -> bool:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "multiprocessing":
+                return True
+        elif isinstance(node, ast.Import):
+            if any(
+                a.name.split(".")[0] == "multiprocessing"
+                for a in node.names
+            ):
+                return True
+    return False
+
+
+def _spawn_callee_violations(
+    site: CallSite,
+    callee: ast.expr,
+    model: ProjectModel,
+    label: str,
+    boundary: str,
+) -> list[LintViolation]:
+    """Audit the pickled surface of a function shipped to a child.
+
+    Shared between ``pool.submit(fn, ...)`` and
+    ``multiprocessing.Process(target=fn, ...)``: both pickle the
+    callee by qualified name and its arguments by value, so the same
+    module-level-definition and annotation-surface checks apply.
+    """
+    violations: list[LintViolation] = []
+    if not isinstance(callee, ast.Name):
+        violations.append(_violation(
+            site.path, site.call.lineno,
+            f"{label} callee is not a module-level function name; "
+            "its pickled surface cannot be checked", "warning",
+        ))
+        return violations
+    definitions = [
+        fn for fn in model.by_name.get(callee.id, [])
+        if fn.module == site.module and not fn.is_method
+    ]
+    if not definitions:
+        violations.append(_violation(
+            site.path, site.call.lineno,
+            f"{label} callee {callee.id!r} has no module-level "
+            "definition in this module; workers can only import "
+            "top-level functions", "warning",
+        ))
+        return violations
+    for fn in definitions:
+        args = fn.node.args
+        annotations = [
+            a.annotation
+            for a in args.posonlyargs + args.args + args.kwonlyargs
+            if a.annotation is not None
+        ]
+        roots: list[str] = []
+        for annotation in annotations:
+            roots.extend(_annotation_names(annotation))
+        for name, cls in sorted(
+            _pickled_surface(iter(roots), model).items()
+        ):
+            if _curates_state(cls):
+                continue
+            for attr, resource, line in _unsafe_self_assignments(cls):
+                violations.append(_violation(
+                    cls.path, line,
+                    f"{name}.{attr} holds {resource} but {name} "
+                    f"crosses the {boundary} boundary via "
+                    f"{fn.name}() ({site.path}:{site.call.lineno}); "
+                    "open it worker-side or add __getstate__",
+                ))
+    return violations
+
+
 def fork_safety_rule(
     modules: Mapping[str, SourceModule],
 ) -> list[LintViolation]:
@@ -182,58 +263,39 @@ def fork_safety_rule(
         name for name, module in modules.items()
         if _uses_process_pool(module)
     }
+    mp_modules = {
+        name for name, module in modules.items()
+        if _uses_multiprocessing(module)
+    }
     for site in model.calls:
         func = site.call.func
-        if not (
+        if (
             isinstance(func, ast.Attribute)
             and func.attr == "submit"
             and site.module in pool_modules
             and site.call.args
         ):
-            continue
-        callee = site.call.args[0]
-        if not isinstance(callee, ast.Name):
-            violations.append(_violation(
-                site.path, site.call.lineno,
-                "submit() callee is not a module-level function name; "
-                "its pickled surface cannot be checked", "warning",
+            violations.extend(_spawn_callee_violations(
+                site, site.call.args[0], model,
+                "submit()", "process-pool",
             ))
             continue
-        definitions = [
-            fn for fn in model.by_name.get(callee.id, [])
-            if fn.module == site.module and not fn.is_method
-        ]
-        if not definitions:
-            violations.append(_violation(
-                site.path, site.call.lineno,
-                f"submit() callee {callee.id!r} has no module-level "
-                "definition in this module; workers can only import "
-                "top-level functions", "warning",
-            ))
-            continue
-        for fn in definitions:
-            args = fn.node.args
-            annotations = [
-                a.annotation
-                for a in args.posonlyargs + args.args + args.kwonlyargs
-                if a.annotation is not None
-            ]
-            roots: list[str] = []
-            for annotation in annotations:
-                roots.extend(_annotation_names(annotation))
-            for name, cls in sorted(
-                _pickled_surface(iter(roots), model).items()
-            ):
-                if _curates_state(cls):
-                    continue
-                for attr, resource, line in _unsafe_self_assignments(cls):
-                    violations.append(_violation(
-                        cls.path, line,
-                        f"{name}.{attr} holds {resource} but {name} "
-                        f"crosses the process-pool boundary via "
-                        f"{fn.name}() ({site.path}:{site.call.lineno}); "
-                        "open it worker-side or add __getstate__",
-                    ))
+        name = call_name(site.call)
+        if (
+            name is not None
+            and (name == "Process" or name.endswith(".Process"))
+            and site.module in mp_modules
+        ):
+            target = next(
+                (kw.value for kw in site.call.keywords
+                 if kw.arg == "target"),
+                None,
+            )
+            if target is not None:
+                violations.extend(_spawn_callee_violations(
+                    site, target, model,
+                    "Process(target=...)", "spawned-process",
+                ))
 
     violations.extend(_check_scope_stacks(modules, model))
     return violations

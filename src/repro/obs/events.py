@@ -56,6 +56,7 @@ RUNTIME_PREFIXES = (
     "checkpoint.",
     "highs.",
     "fault.",
+    "service.",
 )
 
 #: Per-event-name payload contract: every event name the project may
@@ -97,12 +98,22 @@ EVENT_NAMES: dict[str, dict[str, str]] = {
     "cache.closed_form_screens": {"amount": "int"},
     "cache.lp_screens": {"amount": "int"},
     "cache.screened_out": {"amount": "int"},
+    "cache.unit_store.hits": {"amount": "int"},
     # worker lifecycle / crash recovery
     "worker.unit": {"pid": "int"},
     "worker.requeued": {"attempt": "int", "error": "str"},
     "worker.quarantined": {"crashes": "int", "error": "str"},
     "worker.pool_broken": {"suspects": "int"},
     "worker.crash": {"attempt": "int", "crashes": "int"},
+    "worker.markers_swept": {"dirs": "int"},
+    # sweep service (coordinator-side lifecycle; see repro.service)
+    "service.start": {"port": "int", "workers": "int"},
+    "service.submit": {"points": "int", "units": "int", "resumed": "int"},
+    "service.unit.served": {},
+    "service.unit.dispatched": {"worker": "int"},
+    "service.worker.joined": {"worker": "int"},
+    "service.worker.left": {"worker": "int", "inflight": "int"},
+    "service.sweep.done": {"served": "int", "dispatched": "int"},
     # checkpoints
     "checkpoint.saved": {},
     "checkpoint.recovered": {"detail": "str"},
@@ -130,6 +141,7 @@ EVENT_NAMES: dict[str, dict[str, str]] = {
                        "op": "str"},
     "fault.cache.corrupt": {"mode": "str", "spec": "int", "plan": "str",
                             "key": "str"},
+    "fault.service.disconnect": {"mode": "str", "spec": "int", "plan": "str"},
 }
 
 #: JSON Schema (draft-07 subset) of one trace event record. The

@@ -1,0 +1,97 @@
+"""Synchronous submit client for the sweep service.
+
+:func:`submit_sweep` is the programmatic form of ``repro submit``: it
+connects to a running coordinator, ships one sweep config, relays
+streamed progress (per completed point and per finished unit), and
+returns the reconstructed :class:`~repro.experiments.units.SweepResult`.
+The coordinator answers a fully-warm repeat submit directly from the
+persistent store, so the second identical call returns in milliseconds
+with ``unit_store.hits == units`` and zero solves in its
+``analysis_stats``.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Callable
+
+from repro.analysis.interface import AnalysisOptions
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.persistence import sweep_from_dict
+from repro.experiments.units import FailurePolicy, SweepResult
+from repro.service.coordinator import message_config
+from repro.service.wire import recv_message, send_message
+from repro.service.worker import options_to_dict
+
+
+def submit_sweep(
+    host: str,
+    port: int,
+    config: ExperimentConfig,
+    *,
+    options: AnalysisOptions | None = None,
+    failure_policy: "FailurePolicy | str" = FailurePolicy.COUNT_UNSCHEDULABLE,
+    progress: "Callable[[dict], None] | None" = None,
+    unit_progress: "Callable[[int, int, int], None] | None" = None,
+    timeout: "float | None" = None,
+) -> SweepResult:
+    """Submit one sweep to a running coordinator and await the result.
+
+    ``progress`` receives each completed point's ``{"x", "ratios",
+    "failures"}`` payload; ``unit_progress`` receives ``(done, total,
+    served)`` counts as units finish (including store-served ones).
+    Raises :class:`ExperimentError` when the coordinator reports a
+    failed sweep or the connection drops mid-protocol.
+    """
+    policy = FailurePolicy(failure_policy)
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as error:
+        raise ExperimentError(
+            f"cannot reach the sweep service at {host}:{port}: {error}"
+        ) from error
+    try:
+        send_message(sock, {"type": "hello", "role": "client"})
+        send_message(sock, {
+            "type": "submit",
+            "config": message_config(config),
+            "options": options_to_dict(options),
+            "policy": policy.value,
+        })
+        while True:
+            message = recv_message(sock)
+            if message is None:
+                raise ExperimentError(
+                    "sweep service closed the connection before "
+                    "returning a result"
+                )
+            kind = message.get("type")
+            if kind == "progress":
+                if progress is not None:
+                    progress(message)
+            elif kind == "unit_done":
+                if unit_progress is not None:
+                    unit_progress(
+                        int(message["done"]),
+                        int(message["total"]),
+                        int(message["served"]),
+                    )
+            elif kind == "sweep_done":
+                return sweep_from_dict(message["sweep"])
+            elif kind == "error":
+                raise ExperimentError(
+                    f"sweep service failed: {message.get('error_type')}: "
+                    f"{message.get('message')}"
+                )
+            else:
+                raise ExperimentError(
+                    f"unexpected message from the sweep service: {kind!r}"
+                )
+    except OSError as error:
+        raise ExperimentError(
+            f"connection to the sweep service at {host}:{port} dropped "
+            f"mid-protocol: {error}"
+        ) from error
+    finally:
+        sock.close()

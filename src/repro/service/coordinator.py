@@ -1,0 +1,756 @@
+"""Sweep-service coordinator: shard, probe the store, dispatch, merge.
+
+One asyncio server accepts both roles on one port (the first frame's
+``hello`` names the role). Workers register into an idle pool; clients
+submit sweep configs and stream progress back. Sweeps are processed
+one at a time — the coordinator is the *parent* of the sweep in
+exactly the sense the local engines use the word: the only writer of
+the trace, the checkpoint, and the unit-result store.
+
+The dispatch pipeline per submitted sweep:
+
+1. **Resume.** The sweep's checkpoint (``checkpoint_dir/<config
+   digest>.json``) is loaded tolerantly; points it already holds are
+   skipped, digest-failed points are dropped and re-solved — the same
+   ``checkpoint_version`` 1/2 recovery the CLI ``--resume`` path uses,
+   which is what makes a *coordinator* restart survivable: resubmit,
+   and only the lost tail is recomputed.
+2. **Store probe.** Every pending (point, task set) unit's content
+   address (:func:`repro.experiments.units.unit_digest`) is probed
+   against the persistent store in one batched ``fetch_many`` *before
+   anything is dispatched*. Hits are recorded immediately as served
+   units (zero analysis, a ``unit_store.hits`` counter, a
+   ``service.unit.served`` trace event); only unseen digests reach a
+   worker. A fully-warm repeat submit therefore completes without a
+   single solve or dispatch. With a fault plan active the probe and
+   the store writes are disabled — injected faults must actually
+   execute, and their outcomes must not poison the store.
+3. **Dispatch.** Remaining units go to idle workers in sorted order.
+   A worker connection dying mid-unit is a crash of that unit: the
+   same requeue → solo re-run → quarantine ladder as the local pool
+   (the :class:`~repro.experiments.units.UnitScheduler` is shared
+   code), with the socket itself playing the inflight-marker role —
+   connection loss attributes the crash precisely, no filesystem
+   forensics needed.
+4. **Merge.** Unit results merge through the scheduler's parent-only
+   checkpoint path; solved units are written back to the store so the
+   next overlapping sweep starts warmer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from contextlib import nullcontext
+from typing import Awaitable, Callable
+
+from repro.analysis.interface import AnalysisOptions
+from repro.analysis.store import PersistentStore
+from repro.errors import ExperimentError, ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.persistence import (
+    _config_from_dict,
+    cleanup_stale_tmp,
+    config_digest,
+    load_checkpoint_recovering,
+    sweep_to_dict,
+)
+from repro.experiments.runner import sweep_stale_marker_dirs
+from repro.experiments.units import (
+    FailurePolicy,
+    PointResult,
+    SweepResult,
+    UnitScheduler,
+    _coerce_policy,
+    served_unit,
+    unit_digest,
+    unit_from_wire,
+    unit_to_payload,
+)
+from repro.faults import injection as faults
+from repro.faults.plan import FaultPlan
+from repro.obs.events import TraceWriter
+from repro.service.wire import (
+    encode_frame,
+    recv_message_async,
+    send_message_async,
+)
+from repro.service.worker import options_from_dict, options_to_dict, spawn_worker
+
+
+class _WorkerConn:
+    """Coordinator-side state of one connected worker."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.id = worker_id
+        self.reader = reader
+        self.writer = writer
+        self.alive = True
+        #: Sweep ids whose config this worker already holds.
+        self.known_sweeps: set[str] = set()
+        #: Unit key currently dispatched to this worker, if any.
+        self.inflight: "tuple[int, int] | None" = None
+        self.closed = asyncio.Event()
+
+
+class SweepService:
+    """The coordinator: owns workers, the store, and sweep processing.
+
+    ``worker_spawner`` (when set) is invoked to replace dead local
+    workers, bounded per sweep by the same ``4 + 2 * units`` respawn
+    budget the process-pool engine uses; without a spawner the service
+    runs with whatever workers connect (remote mode) and fails loudly
+    when none remain.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        cache_path: "str | None" = None,
+        checkpoint_dir: "str | None" = None,
+        trace_dir: "str | None" = None,
+        fault_plan: FaultPlan | None = None,
+        worker_spawner: "Callable[[str, int], object] | None" = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.cache_path = cache_path
+        self.checkpoint_dir = checkpoint_dir
+        self.trace_dir = trace_dir
+        self.fault_plan = fault_plan
+        self.store = (
+            PersistentStore(cache_path) if cache_path is not None else None
+        )
+        self._spawner = worker_spawner
+        self._server: "asyncio.AbstractServer | None" = None
+        self._workers: dict[int, _WorkerConn] = {}
+        self._idle: "asyncio.Queue[_WorkerConn]" = asyncio.Queue()
+        self._next_worker_id = 0
+        self._next_sweep = 0
+        self._sweep_lock = asyncio.Lock()
+        self._writer: TraceWriter | None = None
+        self._respawns = 0
+        self._respawn_budget = 0
+        #: A replacement worker process we spawned that has not joined
+        #: yet (None when none is outstanding) — one at a time, so a
+        #: slow-booting replacement is not mistaken for a dead one.
+        self._spawn_probe: object | None = None
+        self.sweeps_done = 0
+        self._sweep_finished = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for worker in list(self._workers.values()):
+            try:
+                await send_message_async(worker.writer, {"type": "shutdown"})
+            except (ConnectionError, OSError):
+                pass
+            worker.alive = False
+            worker.closed.set()
+            worker.writer.close()
+        self._workers.clear()
+
+    async def wait_for_sweeps(self, count: int) -> None:
+        """Block until ``count`` sweeps have been processed."""
+        while self.sweeps_done < count:
+            self._sweep_finished.clear()
+            await self._sweep_finished.wait()
+
+    @property
+    def live_workers(self) -> int:
+        return sum(1 for w in self._workers.values() if w.alive)
+
+    # -- connection handling -------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        hello = await recv_message_async(reader)
+        if hello is None or hello.get("type") != "hello":
+            writer.close()
+            return
+        if hello.get("role") == "worker":
+            await self._handle_worker(reader, writer)
+        else:
+            await self._handle_client(reader, writer)
+
+    async def _handle_worker(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        worker = _WorkerConn(self._next_worker_id, reader, writer)
+        self._next_worker_id += 1
+        self._workers[worker.id] = worker
+        self._spawn_probe = None
+        try:
+            await send_message_async(writer, {
+                "type": "welcome",
+                "cache_path": self.cache_path,
+                "fault_plan": (
+                    self.fault_plan.to_dict()
+                    if self.fault_plan is not None
+                    else None
+                ),
+            })
+        except (ConnectionError, OSError):
+            self._drop_worker(worker)
+            return
+        self._emit("service.worker.joined", worker=worker.id)
+        self._idle.put_nowait(worker)
+        # Hold the connection open until the dispatch path (or stop())
+        # declares the worker gone; all reads happen in _run_unit.
+        await worker.closed.wait()
+
+    def _drop_worker(self, worker: _WorkerConn) -> None:
+        if not worker.alive:
+            return
+        worker.alive = False
+        worker.closed.set()
+        self._workers.pop(worker.id, None)
+        self._emit(
+            "service.worker.left",
+            worker=worker.id,
+            inflight=0 if worker.inflight is None else 1,
+        )
+        try:
+            worker.writer.close()
+        except OSError:
+            pass
+
+    async def _acquire_worker(self) -> _WorkerConn:
+        while True:
+            if self.live_workers == 0:
+                probe = self._spawn_probe
+                if probe is not None:
+                    alive = getattr(probe, "is_alive", None)
+                    if callable(alive) and not alive():
+                        self._spawn_probe = None  # died before joining
+                if self._spawn_probe is None:
+                    if (
+                        self._spawner is not None
+                        and self._respawns < self._respawn_budget
+                    ):
+                        self._respawns += 1
+                        self._spawn_probe = self._spawner(
+                            self.host, self.port
+                        )
+                    elif self._spawner is not None:
+                        raise ExperimentError(
+                            f"sweep service aborted: workers kept dying "
+                            f"({self._respawns} respawns) — the "
+                            f"environment is killing workers faster than "
+                            f"quarantine can isolate the cause"
+                        )
+                    else:
+                        raise ExperimentError(
+                            "sweep service has no live workers and no way "
+                            "to spawn replacements; connect workers and "
+                            "resubmit"
+                        )
+            try:
+                worker = await asyncio.wait_for(self._idle.get(), timeout=0.05)
+            except asyncio.TimeoutError:
+                continue
+            if worker.alive:
+                return worker
+
+    # -- client handling -----------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        message = await recv_message_async(reader)
+        if message is None:
+            writer.close()
+            return
+        if message.get("type") != "submit":
+            await send_message_async(writer, {
+                "type": "error", "error_type": "WireError",
+                "message": f"expected a submit message, got "
+                           f"{message.get('type')!r}",
+            })
+            writer.close()
+            return
+
+        def point_progress(result: PointResult) -> None:
+            # Sync callback from the scheduler: buffer the frame; the
+            # event loop flushes it with the next await.
+            writer.write(encode_frame({
+                "type": "progress",
+                "x": result.x,
+                "ratios": dict(result.ratios),
+                "failures": len(result.failures),
+            }))
+
+        def unit_progress(done: int, total: int, served: int) -> None:
+            writer.write(encode_frame({
+                "type": "unit_done", "done": done, "total": total,
+                "served": served,
+            }))
+
+        try:
+            config = _config_from_dict(message["config"])
+            sweep = await self.process_sweep(
+                config,
+                options=options_from_dict(message.get("options")),
+                failure_policy=message.get(
+                    "policy", FailurePolicy.COUNT_UNSCHEDULABLE.value
+                ),
+                progress=point_progress,
+                unit_progress=unit_progress,
+            )
+        except ReproError as exc:
+            try:
+                await send_message_async(writer, {
+                    "type": "error",
+                    "error_type": type(exc).__name__,
+                    "message": str(exc),
+                })
+            except (ConnectionError, OSError):
+                pass
+        else:
+            try:
+                await send_message_async(writer, {
+                    "type": "sweep_done",
+                    "sweep": sweep_to_dict(sweep),
+                })
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            writer.close()
+
+    # -- sweep processing ----------------------------------------------
+    def _emit(self, name: str, **fields: object) -> None:
+        if self._writer is not None:
+            self._writer.emit(name, **fields)  # type: ignore[arg-type]
+
+    async def process_sweep(
+        self,
+        config: ExperimentConfig,
+        *,
+        options: AnalysisOptions | None = None,
+        failure_policy: "FailurePolicy | str" = (
+            FailurePolicy.COUNT_UNSCHEDULABLE
+        ),
+        progress: "Callable[[PointResult], None] | None" = None,
+        unit_progress: "Callable[[int, int, int], None] | None" = None,
+        trace_path: "str | None" = None,
+    ) -> SweepResult:
+        """Run one sweep through probe → dispatch → merge.
+
+        Serialised: concurrent submits queue on the sweep lock. The
+        full experiment contract of :func:`repro.experiments.runner.
+        run_experiment` applies — same unit decomposition, same
+        checkpoint format, same trace schema, bit-identical results.
+        """
+        async with self._sweep_lock:
+            try:
+                return await self._process_sweep_locked(
+                    config, options, _coerce_policy(failure_policy),
+                    progress, unit_progress, trace_path,
+                )
+            finally:
+                self.sweeps_done += 1
+                self._sweep_finished.set()
+
+    async def _process_sweep_locked(
+        self,
+        config: ExperimentConfig,
+        options: AnalysisOptions | None,
+        policy: FailurePolicy,
+        progress: "Callable[[PointResult], None] | None",
+        unit_progress: "Callable[[int, int, int], None] | None",
+        trace_path: "str | None",
+    ) -> SweepResult:
+        digest = config_digest(config)
+        sweep_id = f"s{self._next_sweep}"
+        self._next_sweep += 1
+        checkpoint_path: "str | None" = None
+        if self.checkpoint_dir is not None:
+            os.makedirs(self.checkpoint_dir, exist_ok=True)
+            checkpoint_path = os.path.join(
+                self.checkpoint_dir, f"{digest}.json"
+            )
+            cleanup_stale_tmp(checkpoint_path)
+        completed: dict[int, PointResult] = {}
+        recovered: list[str] = []
+        if checkpoint_path is not None:
+            completed, recovered = load_checkpoint_recovering(
+                checkpoint_path, config
+            )
+        if trace_path is None and self.trace_dir is not None:
+            os.makedirs(self.trace_dir, exist_ok=True)
+            # One file per *sweep*, not per config: a repeat submit of
+            # the same config (resumed or store-served, hence a nearly
+            # empty trace) must not clobber the cold run's full trace.
+            trace_path = os.path.join(
+                self.trace_dir, f"{digest}.{sweep_id}.trace.jsonl"
+            )
+        writer = (
+            TraceWriter(trace_path, run_id=digest[:12])
+            if trace_path is not None
+            else None
+        )
+        self._writer = writer
+        plan_scope = (
+            faults.injecting(self.fault_plan)
+            if self.fault_plan is not None
+            else nullcontext()
+        )
+        try:
+            with plan_scope:
+                if writer is not None:
+                    writer.emit(
+                        "run.start",
+                        points=len(config.points),
+                        sets=config.sets_per_point,
+                        jobs=self.live_workers,
+                        resumed=len(completed),
+                    )
+                    for problem in recovered:
+                        writer.emit("checkpoint.recovered", detail=problem)
+                sweep_stale_marker_dirs(writer)
+                run_start = time.perf_counter()
+                self._emit(
+                    "service.start", port=self.port, workers=self.live_workers
+                )
+                scheduler = UnitScheduler(
+                    config,
+                    policy,
+                    completed,
+                    checkpoint_path=checkpoint_path,
+                    writer=writer,
+                    fault_plan=self.fault_plan,
+                    progress=progress,
+                )
+                total_units = len(scheduler.pending)
+                self._respawns = 0
+                self._respawn_budget = 4 + 2 * total_units
+                self._emit(
+                    "service.submit",
+                    points=len(config.points),
+                    units=total_units,
+                    resumed=len(completed),
+                )
+
+                def report_units(served: int) -> None:
+                    if unit_progress is not None:
+                        unit_progress(
+                            total_units - len(scheduler.pending),
+                            total_units,
+                            served,
+                        )
+
+                served = 0
+                dispatched = 0
+                digests: dict[tuple[int, int], str] = {}
+                # Pre-dispatch store probe: with a fault plan active the
+                # store is bypassed entirely (reads *and* writes) so
+                # injected faults execute and their outcomes stay out of
+                # the store.
+                if self.store is not None and self.fault_plan is None:
+                    digests = {
+                        key: unit_digest(
+                            config, key[0], key[1], options, policy
+                        )
+                        for key in scheduler.pending
+                    }
+                    hits = self.store.fetch_many(digests.values())
+                    for key in sorted(digests):
+                        value = hits.get(digests[key])
+                        if (
+                            isinstance(value, tuple)
+                            and len(value) == 2
+                            and value[0] == "unit"
+                        ):
+                            self._emit(
+                                "service.unit.served",
+                                point=key[0],
+                                unit=key[1],
+                            )
+                            scheduler.record_unit(
+                                key[0],
+                                served_unit(
+                                    value[1], trace=writer is not None
+                                ),
+                            )
+                            served += 1
+                            report_units(served)
+                sweep_context = {
+                    "type": "sweep",
+                    "sweep": sweep_id,
+                    "config": message_config(config),
+                    "options": options_to_dict(options),
+                    "policy": policy.value,
+                    "trace": writer is not None,
+                }
+                while not scheduler.done:
+                    # Crash-implicated units re-run alone (the probe
+                    # semantics of the local pool): an isolated repeat
+                    # crash is unambiguous, innocent collateral passes.
+                    suspect_keys = scheduler.suspects()
+                    batch = (
+                        [suspect_keys[0]]
+                        if suspect_keys
+                        else sorted(scheduler.pending)
+                    )
+                    batch_attempts = {
+                        key: scheduler.pending[key] for key in batch
+                    }
+                    outcomes = await asyncio.gather(
+                        *(
+                            self._run_unit(
+                                sweep_context,
+                                key,
+                                attempt,
+                                scheduler,
+                                digests,
+                            )
+                            for key, attempt in batch_attempts.items()
+                        ),
+                        return_exceptions=True,
+                    )
+                    for outcome in outcomes:
+                        if isinstance(outcome, BaseException):
+                            raise outcome
+                        if outcome:
+                            dispatched += 1
+                            report_units(served)
+                self._emit(
+                    "service.sweep.done", served=served, dispatched=dispatched
+                )
+                result = scheduler.result()
+                if writer is not None:
+                    writer.emit(
+                        "run.end", dur=time.perf_counter() - run_start
+                    )
+                return result
+        finally:
+            self._writer = None
+            if writer is not None:
+                writer.close()
+
+    async def _run_unit(
+        self,
+        sweep_context: dict,
+        key: "tuple[int, int]",
+        attempt: int,
+        scheduler: UnitScheduler,
+        digests: "dict[tuple[int, int], str]",
+    ) -> bool:
+        """Dispatch one unit to a worker; returns True when evaluated.
+
+        A worker connection dying before the result frame lands is this
+        unit's crash: the worker is dropped and the scheduler decides
+        requeue vs. quarantine, exactly as a broken local pool would.
+        """
+        sweep_id = sweep_context["sweep"]
+        worker = await self._acquire_worker()
+        reply: "dict | None" = None
+        try:
+            if sweep_id not in worker.known_sweeps:
+                await send_message_async(worker.writer, sweep_context)
+                worker.known_sweeps.add(sweep_id)
+            worker.inflight = key
+            await send_message_async(worker.writer, {
+                "type": "unit", "sweep": sweep_id,
+                "point": key[0], "unit": key[1], "attempt": attempt,
+            })
+            self._emit(
+                "service.unit.dispatched",
+                point=key[0],
+                unit=key[1],
+                worker=worker.id,
+            )
+            reply = await recv_message_async(worker.reader)
+        except (ConnectionError, OSError):
+            reply = None
+        if reply is None or reply.get("type") != "result":
+            self._drop_worker(worker)
+            self._emit(
+                "worker.crash",
+                point=key[0],
+                unit=key[1],
+                attempt=attempt,
+                crashes=scheduler.crash_counts.get(key, 0) + 1,
+            )
+            scheduler.record_crash(
+                key,
+                attempt,
+                "WorkerCrashError",
+                "service worker disconnected while evaluating this task set",
+            )
+            return False
+        worker.inflight = None
+        self._idle.put_nowait(worker)
+        error = reply.get("error")
+        if error is not None:
+            if error.get("repro") or scheduler.policy is FailurePolicy.RAISE:
+                raise ExperimentError(
+                    f"worker failed evaluating (point {key[0]}, set "
+                    f"{key[1]}): {error['type']}: {error['message']}"
+                )
+            scheduler.record_crash(
+                key, attempt, error["type"], error["message"]
+            )
+            return False
+        unit = unit_from_wire(reply["payload"])
+        scheduler.record_unit(key[0], unit)
+        if self.store is not None and self.fault_plan is None:
+            self.store.store(
+                digests[key], ("unit", unit_to_payload(unit))
+            )
+        return True
+
+
+def message_config(config: ExperimentConfig) -> dict:
+    """The wire form of a sweep config (persistence's checkpoint form)."""
+    from repro.experiments.persistence import _config_to_dict
+
+    return _config_to_dict(config)
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+async def _with_service(
+    body: "Callable[[SweepService], Awaitable[SweepResult]]",
+    *,
+    workers: int,
+    cache_path: "str | None",
+    checkpoint_dir: "str | None",
+    trace_dir: "str | None",
+    fault_plan: FaultPlan | None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> SweepResult:
+    service = SweepService(
+        host,
+        port,
+        cache_path=cache_path,
+        checkpoint_dir=checkpoint_dir,
+        trace_dir=trace_dir,
+        fault_plan=fault_plan,
+        worker_spawner=spawn_worker,
+    )
+    await service.start()
+    processes = [
+        spawn_worker(service.host, service.port) for _ in range(workers)
+    ]
+    try:
+        return await body(service)
+    finally:
+        await service.stop()
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5)
+
+
+def run_service_sweep(
+    config: ExperimentConfig,
+    *,
+    workers: int = 2,
+    options: AnalysisOptions | None = None,
+    failure_policy: "FailurePolicy | str" = FailurePolicy.COUNT_UNSCHEDULABLE,
+    cache_path: "str | None" = None,
+    checkpoint_dir: "str | None" = None,
+    trace_path: "str | None" = None,
+    fault_plan: FaultPlan | None = None,
+    progress: "Callable[[PointResult], None] | None" = None,
+) -> SweepResult:
+    """One sweep through an ephemeral local service (workers included).
+
+    The in-process backbone behind tests, benchmarks, and one-shot use:
+    starts a coordinator on a free port, spawns ``workers`` local
+    worker processes over the real socket transport, processes exactly
+    this sweep, and tears everything down. Equivalent to ``repro
+    serve`` + one ``repro submit``, minus the client socket hop.
+    """
+
+    async def body(service: SweepService) -> SweepResult:
+        return await service.process_sweep(
+            config,
+            options=options,
+            failure_policy=failure_policy,
+            progress=progress,
+            trace_path=trace_path,
+        )
+
+    return asyncio.run(_with_service(
+        body,
+        workers=workers,
+        cache_path=cache_path,
+        checkpoint_dir=checkpoint_dir,
+        trace_dir=None,
+        fault_plan=fault_plan,
+    ))
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    workers: int = 2,
+    cache_path: "str | None" = None,
+    checkpoint_dir: "str | None" = None,
+    trace_dir: "str | None" = None,
+    fault_plan: FaultPlan | None = None,
+    max_sweeps: "int | None" = None,
+    ready: "Callable[[int], None] | None" = None,
+) -> None:
+    """Run a sweep service until stopped (or ``max_sweeps`` processed).
+
+    Binds the coordinator, spawns ``workers`` local worker processes,
+    reports the bound port through ``ready`` (port 0 binds a free one),
+    and serves ``repro submit`` clients. ``max_sweeps`` gives CI and
+    tests a deterministic exit.
+    """
+
+    async def main() -> None:
+        service = SweepService(
+            host,
+            port,
+            cache_path=cache_path,
+            checkpoint_dir=checkpoint_dir,
+            trace_dir=trace_dir,
+            fault_plan=fault_plan,
+            worker_spawner=spawn_worker,
+        )
+        await service.start()
+        processes = [
+            spawn_worker(service.host, service.port) for _ in range(workers)
+        ]
+        if ready is not None:
+            ready(service.port)
+        try:
+            if max_sweeps is not None:
+                await service.wait_for_sweeps(max_sweeps)
+            else:
+                assert service._server is not None
+                await service._server.serve_forever()
+        finally:
+            await service.stop()
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=5)
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass

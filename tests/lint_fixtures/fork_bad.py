@@ -36,3 +36,23 @@ def run() -> None:
 
 def push_scope() -> None:
     _SCOPES.append(object())
+
+
+class SpawnLeaky:
+    """Holds an open handle shipped through a Process target."""
+
+    def __init__(self, path: str) -> None:
+        self.log = open(path)
+
+
+def spawned_work(holder: "SpawnLeaky") -> int:
+    return 0
+
+
+def spawn() -> None:
+    import multiprocessing
+
+    multiprocessing.Process(
+        target=spawned_work, args=(SpawnLeaky("z.txt"),)
+    ).start()
+    multiprocessing.Process(target=lambda: None).start()

@@ -150,7 +150,7 @@ class TestResume:
 
 class TestSweepSerializationWithFailures:
     def test_sweep_roundtrip_keeps_ledger(self, tmp_path, config, monkeypatch):
-        import repro.experiments.runner as rm
+        import repro.experiments.units as rm
         from repro.errors import SolverError
 
         original = rm.is_schedulable

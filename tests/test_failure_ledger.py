@@ -2,7 +2,7 @@
 
 import pytest
 
-import repro.experiments.runner as runner_module
+import repro.experiments.units as units_module
 from repro.errors import ExperimentError, SolverError
 from repro.experiments import (
     ExperimentConfig,
@@ -46,7 +46,7 @@ def _fault_on(monkeypatch, protocol, taskset_index):
             raise SolverError("injected solver crash")
         return True
 
-    monkeypatch.setattr(runner_module, "is_schedulable", fake_is_schedulable)
+    monkeypatch.setattr(units_module, "is_schedulable", fake_is_schedulable)
 
 
 class TestFailurePolicies:
@@ -109,7 +109,7 @@ class TestLedger:
             error.degradation = 3
             raise error
 
-        monkeypatch.setattr(runner_module, "is_schedulable", fake_is_schedulable)
+        monkeypatch.setattr(units_module, "is_schedulable", fake_is_schedulable)
         result = run_point(config.points[0], config, seed=11)
         assert all(f.degradation == 3 for f in result.failures)
         assert result.ratios["proposed"] == 0.0
@@ -118,7 +118,7 @@ class TestLedger:
         def fake_is_schedulable(taskset, proto, **kwargs):
             raise SolverError("dead backend")
 
-        monkeypatch.setattr(runner_module, "is_schedulable", fake_is_schedulable)
+        monkeypatch.setattr(units_module, "is_schedulable", fake_is_schedulable)
         result = run_point(config.points[0], config, seed=11, failure_policy="skip")
         assert all(v == 0.0 for v in result.ratios.values())
 

@@ -91,12 +91,12 @@ class TestTraceContractRule:
 
     def test_dead_catalogue_entry_flagged(self):
         modules = dict(load_repo_modules())
-        runner = modules["repro.experiments.runner"]
-        source = Path(runner.path).read_text()
+        units = modules["repro.experiments.units"]
+        source = Path(units.path).read_text()
         target = 'writer.emit("checkpoint.saved", point=point_index)'
         assert target in source
-        modules["repro.experiments.runner"] = SourceModule.parse(
-            runner.name, runner.path, source.replace(target, "pass")
+        modules["repro.experiments.units"] = SourceModule.parse(
+            units.name, units.path, source.replace(target, "pass")
         )
         violations = run_lint(modules, rules=["trace-contract"])
         assert any(
@@ -204,6 +204,28 @@ class TestForkSafetyRule:
         stack = [v for v in violations if "_SCOPES" in v.message]
         assert len(stack) == 1
         assert "push_scope" in stack[0].message
+
+    def test_process_target_surface_flagged(self):
+        violations = run_lint(
+            _fixture_only("fork_bad"), rules=["fork-safety"]
+        )
+        leaks = [v for v in violations if "SpawnLeaky.log" in v.message]
+        assert len(leaks) == 1
+        assert "open file handle" in leaks[0].message
+        assert "spawned-process boundary" in leaks[0].message
+        assert "spawned_work" in leaks[0].message
+
+    def test_process_lambda_target_warned(self):
+        violations = run_lint(
+            _fixture_only("fork_bad"), rules=["fork-safety"]
+        )
+        warned = [
+            v for v in violations
+            if "Process(target=...)" in v.message
+            and "not a module-level function name" in v.message
+        ]
+        assert len(warned) == 1
+        assert warned[0].severity == "warning"
 
     def test_real_stack_mutation_outside_cm_fails(self):
         modules = dict(load_repo_modules())

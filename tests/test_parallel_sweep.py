@@ -42,6 +42,16 @@ class TestBitIdentity:
         parallel = run_experiment(config, jobs=2)
         _identical(sequential, parallel)
 
+    def test_fig2a_reduced_service_matches_sequential(self):
+        # Third leg of the equivalence matrix: jobs=1 == jobs=N ==
+        # service (socket-dispatched workers, no persistent store).
+        from repro.service import run_service_sweep
+
+        config = _reduced("fig2a")
+        sequential = run_experiment(config)
+        service = run_service_sweep(config, workers=2)
+        _identical(sequential, service)
+
     def test_fig2d_reduced_parallel_matches_sequential(self):
         config = _reduced("fig2d", sets=2, step=slice(3, 5))
         sequential = run_experiment(config)
