@@ -4,13 +4,15 @@ Support for Latency-Sensitive Tasks* (Casini et al., DAC 2020).
 The package implements the paper's protocol (rules R1-R6), its MILP
 worst-case-delay analysis, the two baselines it is evaluated against
 (classical non-preemptive scheduling and the protocol of Wasly &
-Pellizzoni [3]), a discrete-event simulator of all three, the workload
-generator of Sec. VII, and the experiment harness regenerating the
-paper's figures.
+Pellizzoni [3]), a protocol zoo of further comparison points behind a
+registry (limited preemption via preemption thresholds, memory
+bandwidth regulation), a discrete-event simulator of each, the
+workload generator of Sec. VII, and the experiment harness
+regenerating the paper's figures.
 
 Quickstart::
 
-    from repro import Task, TaskSet, is_schedulable
+    from repro import Task, TaskSet, is_schedulable, registered_protocols
 
     ts = TaskSet.from_parameters([
         # (name,  C,   l,   u,   T,   D)
@@ -18,7 +20,7 @@ Quickstart::
         ("ctrl", 1.0, 0.2, 0.2, 10.0,  4.0),
         ("log",  4.0, 0.8, 0.8, 40.0, 40.0),
     ])
-    for protocol in ("nps", "wasly", "proposed"):
+    for protocol in registered_protocols():
         print(protocol, is_schedulable(ts, protocol))
 """
 
@@ -26,12 +28,17 @@ from repro.analysis import (
     AnalysisOptions,
     NpsAnalysis,
     ProposedAnalysis,
+    RegulatedAnalysis,
+    RegulationConfig,
     TaskResult,
     TaskSetResult,
+    ThresholdAnalysis,
     WaslyAnalysis,
     analyze_taskset,
     greedy_ls_assignment,
     is_schedulable,
+    register_protocol,
+    registered_protocols,
 )
 from repro.curves import (
     ArrivalCurve,
@@ -80,6 +87,11 @@ __all__ = [
     "NpsAnalysis",
     "WaslyAnalysis",
     "ProposedAnalysis",
+    "ThresholdAnalysis",
+    "RegulatedAnalysis",
+    "RegulationConfig",
+    "register_protocol",
+    "registered_protocols",
     "analyze_taskset",
     "is_schedulable",
     "greedy_ls_assignment",

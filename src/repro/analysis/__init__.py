@@ -9,6 +9,12 @@
   ``Gamma_LS = emptyset`` plus a closed-form variant.
 * :mod:`repro.analysis.proposed` — the paper's protocol (rules R1-R6)
   analysed with the MILP of Sec. V, NLS and LS cases.
+* :mod:`repro.analysis.threshold` — limited preemption of the 3-phase
+  model via per-task preemption thresholds (zoo protocol).
+* :mod:`repro.analysis.regulated` — NPS under per-core memory
+  bandwidth regulation (zoo protocol).
+* :mod:`repro.analysis.registry` — the protocol registry every layer
+  (config, CLI, report, simulators) resolves names through.
 * :mod:`repro.analysis.ls_assignment` — the greedy LS-marking
   algorithm of Sec. VI and ablation heuristics.
 * :mod:`repro.analysis.schedulability` — task-set level front end.
@@ -17,12 +23,24 @@
 from repro.analysis.cache import AnalysisCache, active_cache, cache_scope
 from repro.analysis.interface import (
     AnalysisOptions,
+    RegulationConfig,
     TaskResult,
     TaskSetResult,
 )
 from repro.analysis.nps import NpsAnalysis
 from repro.analysis.wasly import WaslyAnalysis
 from repro.analysis.proposed import ProposedAnalysis
+from repro.analysis.threshold import ThresholdAnalysis
+from repro.analysis.regulated import RegulatedAnalysis, regulated_duration
+from repro.analysis.registry import (
+    ProtocolSpec,
+    make_analysis,
+    protocol_spec,
+    register_protocol,
+    registered_protocols,
+    simulable_protocols,
+    simulator_class,
+)
 from repro.analysis.ls_assignment import (
     LsAssignmentOutcome,
     greedy_ls_assignment,
@@ -34,11 +52,22 @@ __all__ = [
     "active_cache",
     "cache_scope",
     "AnalysisOptions",
+    "RegulationConfig",
     "TaskResult",
     "TaskSetResult",
     "NpsAnalysis",
     "WaslyAnalysis",
     "ProposedAnalysis",
+    "ThresholdAnalysis",
+    "RegulatedAnalysis",
+    "regulated_duration",
+    "ProtocolSpec",
+    "make_analysis",
+    "protocol_spec",
+    "register_protocol",
+    "registered_protocols",
+    "simulable_protocols",
+    "simulator_class",
     "LsAssignmentOutcome",
     "greedy_ls_assignment",
     "analyze_taskset",

@@ -13,6 +13,36 @@ from repro.types import Time
 
 
 @dataclass(frozen=True)
+class RegulationConfig:
+    """Per-core memory-bandwidth regulation (the ``regulated`` protocol).
+
+    A MemGuard-style regulator grants each core a memory budget of
+    ``budget`` time units of DMA-rate transfer per replenishment
+    ``period``; a memory phase that exhausts the budget stalls until the
+    next replenishment. Execution phases consume no budget. ``budget ==
+    period`` degenerates to unregulated memory (the ``nps_carry``
+    bound).
+
+    Attributes:
+        budget: Memory-transfer time granted per period (``Q``).
+        period: Replenishment period (``P``); budgets do not accumulate
+            across periods.
+    """
+
+    budget: float
+    period: float
+
+    def __post_init__(self) -> None:
+        if self.period <= 0.0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if not 0.0 < self.budget <= self.period:
+            raise ValueError(
+                f"budget must be in (0, period], got {self.budget} "
+                f"with period {self.period}"
+            )
+
+
+@dataclass(frozen=True)
 class AnalysisOptions:
     """Knobs shared by the response-time analyses.
 
@@ -46,6 +76,17 @@ class AnalysisOptions:
             watchdog, transient-error retries, and the safe-degradation
             fallback chain down to the closed-form bound. ``None`` (the
             default) keeps the historical fail-fast behaviour.
+        preemption_thresholds: For the ``threshold`` protocol: explicit
+            per-task preemption thresholds as a tuple of ``(task name,
+            threshold)`` pairs (a tuple, not a dict, so the frozen
+            options stay hashable and ``repr``-stable for cache keys).
+            A job of threshold ``theta`` can only be preempted — at its
+            phase boundaries — by ready tasks with priority strictly
+            less than ``theta``. ``None`` (the default) uses each
+            task's own priority as its threshold.
+        regulation: For the ``regulated`` protocol: the per-core memory
+            bandwidth budget (see :class:`RegulationConfig`). ``None``
+            means unregulated memory phases.
     """
 
     max_iterations: int = 60
@@ -55,6 +96,8 @@ class AnalysisOptions:
     convergence_eps: float = 1e-6
     screening: bool = True
     resilience: ResilienceConfig | None = None
+    preemption_thresholds: tuple[tuple[str, int], ...] | None = None
+    regulation: RegulationConfig | None = None
 
 
 @dataclass(frozen=True)

@@ -327,6 +327,12 @@ class ProposedAnalysis:
                 self.options.time_limit,
                 self.options.mip_rel_gap,
                 repr(self.options.resilience),
+                # Protocol-specific knobs: neither shapes a proposed/
+                # WASLY MILP today, but both shape the threshold and
+                # regulated analyses that reuse this signature — and
+                # entries must never collide across protocols.
+                self.options.preemption_thresholds,
+                repr(self.options.regulation),
             )
             self._solver_sig = sig
         return sig

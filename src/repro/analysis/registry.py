@@ -1,0 +1,201 @@
+"""Protocol registry: one name -> analysis/simulator mapping.
+
+The sweep stack was born with three protocols wired in by name; growing
+a protocol zoo means every layer (config, runner, report, CLI) must ask
+*one* authority which names exist and how to build their analysis — and
+optionally their simulator, for the observed-<=-bound cross-validation
+harness. That authority is this module.
+
+Built-in protocols register themselves at import; out-of-tree code can
+call :func:`register_protocol` with its own :class:`ProtocolSpec` (the
+EXPERIMENTS.md "Protocol zoo" section walks through it). Simulator
+factories are *lazy* zero-argument callables so registering an
+analysis never drags :mod:`repro.sim` into pure-analysis imports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.interface import AnalysisOptions
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Everything the harness needs to know about one protocol.
+
+    Attributes:
+        name: Registry key (``ExperimentConfig.protocols`` entries,
+            CLI ``--protocols`` values, report column headers).
+        make_analysis: ``(options, method) -> analysis`` factory; the
+            returned object must offer ``analyze``/``is_schedulable``/
+            ``response_time`` (see :class:`repro.analysis.nps.NpsAnalysis`
+            for the minimal shape).
+        simulator: Optional lazy factory ``() -> simulator class``
+            (itself called as ``cls(taskset)``); ``None`` marks an
+            analysis-only protocol (e.g. ``nps_carry``, whose carry
+            convention has no distinct runtime behaviour).
+        description: One line for ``--help`` and docs.
+    """
+
+    name: str
+    make_analysis: Callable[[AnalysisOptions | None, str], object]
+    simulator: Callable[[], type] | None = None
+    description: str = ""
+
+
+_REGISTRY: dict[str, ProtocolSpec] = {}
+
+
+def register_protocol(spec: ProtocolSpec) -> ProtocolSpec:
+    """Add one protocol to the registry (idempotent per exact name)."""
+    if not spec.name:
+        raise AnalysisError("protocol name must be non-empty")
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing is not spec:
+        raise AnalysisError(
+            f"protocol {spec.name!r} is already registered"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def registered_protocols() -> tuple[str, ...]:
+    """All registered protocol names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def protocol_spec(name: str) -> ProtocolSpec:
+    """The spec of one registered protocol (one-line error otherwise)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown protocol {name!r}; registered protocols: "
+            f"{', '.join(_REGISTRY)}"
+        ) from None
+
+
+def make_analysis(
+    name: str,
+    options: AnalysisOptions | None = None,
+    method: str = "milp",
+):
+    """Build the analysis object of one registered protocol."""
+    return protocol_spec(name).make_analysis(options, method)
+
+
+def simulator_class(name: str) -> type:
+    """The simulator class of one registered protocol.
+
+    Raises a one-line :class:`AnalysisError` when the protocol exists
+    but is analysis-only.
+    """
+    spec = protocol_spec(name)
+    if spec.simulator is None:
+        raise AnalysisError(
+            f"protocol {name!r} has no simulator (analysis-only); "
+            f"simulable protocols: {', '.join(simulable_protocols())}"
+        )
+    return spec.simulator()
+
+
+def simulable_protocols() -> tuple[str, ...]:
+    """Names of protocols that have a simulator."""
+    return tuple(
+        name for name, spec in _REGISTRY.items() if spec.simulator is not None
+    )
+
+
+# ----------------------------------------------------------------------
+# built-in protocols
+# ----------------------------------------------------------------------
+def _nps_simulator() -> type:
+    from repro.sim.nps_sim import NpsSimulator
+
+    return NpsSimulator
+
+
+def _wasly_simulator() -> type:
+    from repro.sim.interval_sim import WaslySimulator
+
+    return WaslySimulator
+
+
+def _proposed_simulator() -> type:
+    from repro.sim.interval_sim import ProposedSimulator
+
+    return ProposedSimulator
+
+
+def _threshold_simulator() -> type:
+    from repro.sim.threshold_sim import ThresholdSimulator
+
+    return ThresholdSimulator
+
+
+def _regulated_simulator() -> type:
+    from repro.sim.regulated_sim import RegulatedSimulator
+
+    return RegulatedSimulator
+
+
+def _register_builtins() -> None:
+    from repro.analysis.nps import NpsAnalysis
+    from repro.analysis.regulated import RegulatedAnalysis
+    from repro.analysis.threshold import ThresholdAnalysis
+    from repro.analysis.wasly import WaslyAnalysis
+    from repro.analysis.proposed.response_time import ProposedAnalysis
+
+    register_protocol(ProtocolSpec(
+        name="nps",
+        make_analysis=lambda options, method: NpsAnalysis(
+            options, variant="exact"
+        ),
+        simulator=_nps_simulator,
+        description="non-preemptive FP, memory inline (exact busy window)",
+    ))
+    register_protocol(ProtocolSpec(
+        name="nps_carry",
+        make_analysis=lambda options, method: NpsAnalysis(
+            options, variant="carry"
+        ),
+        simulator=None,
+        description="NPS under the paper's carry-in convention "
+        "(analysis-only)",
+    ))
+    register_protocol(ProtocolSpec(
+        name="wasly",
+        make_analysis=lambda options, method: WaslyAnalysis(
+            options, method=method
+        ),
+        simulator=_wasly_simulator,
+        description="double-buffered interval protocol of [3]",
+    ))
+    register_protocol(ProtocolSpec(
+        name="proposed",
+        make_analysis=lambda options, method: ProposedAnalysis(
+            options, method=method
+        ),
+        simulator=_proposed_simulator,
+        description="the paper's protocol (rules R1-R6, LS support)",
+    ))
+    register_protocol(ProtocolSpec(
+        name="threshold",
+        make_analysis=lambda options, method: ThresholdAnalysis(options),
+        simulator=_threshold_simulator,
+        description="3-phase limited preemption via preemption "
+        "thresholds (Thilakasiri & Becker)",
+    ))
+    register_protocol(ProtocolSpec(
+        name="regulated",
+        make_analysis=lambda options, method: RegulatedAnalysis(options),
+        simulator=_regulated_simulator,
+        description="NPS under per-core memory bandwidth regulation "
+        "(Agrawal et al.)",
+    ))
+
+
+_register_builtins()

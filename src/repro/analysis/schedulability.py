@@ -1,25 +1,30 @@
 """Task-set level schedulability front end.
 
-One entry point for the three compared approaches, matching the
-experimental setup of Sec. VII:
+One entry point for every registered protocol (see
+:mod:`repro.analysis.registry`), matching the experimental setup of
+Sec. VII plus the zoo extensions:
 
-* ``"nps"`` — classical non-preemptive scheduling, memory inline;
+* ``"nps"`` / ``"nps_carry"`` — classical non-preemptive scheduling,
+  memory inline (exact busy window / the paper's carry convention);
 * ``"wasly"`` — protocol [3];
 * ``"proposed"`` — the paper's protocol, with an LS-marking policy
-  (the greedy algorithm of Sec. VI by default).
+  (the greedy algorithm of Sec. VI by default);
+* ``"threshold"`` — limited preemption via preemption thresholds;
+* ``"regulated"`` — NPS under memory bandwidth regulation.
 """
 
 from __future__ import annotations
 
 from repro.analysis.interface import AnalysisOptions, TaskSetResult
 from repro.analysis.ls_assignment import LS_POLICIES
-from repro.analysis.nps import NpsAnalysis
-from repro.analysis.proposed.response_time import ProposedAnalysis
-from repro.analysis.wasly import WaslyAnalysis
+from repro.analysis.registry import make_analysis, registered_protocols
 from repro.errors import AnalysisError
 from repro.model.taskset import TaskSet
 
-PROTOCOLS = ("nps", "nps_carry", "wasly", "proposed")
+#: All registered protocol names (import-time snapshot of the built-ins
+#: plus anything registered before this module loads; prefer calling
+#: :func:`repro.analysis.registry.registered_protocols` for a live view).
+PROTOCOLS = registered_protocols()
 
 
 def _make_analysis(
@@ -27,17 +32,7 @@ def _make_analysis(
     options: AnalysisOptions | None,
     method: str,
 ):
-    if protocol == "nps":
-        return NpsAnalysis(options, variant="exact")
-    if protocol == "nps_carry":
-        return NpsAnalysis(options, variant="carry")
-    if protocol == "wasly":
-        return WaslyAnalysis(options, method=method)
-    if protocol == "proposed":
-        return ProposedAnalysis(options, method=method)
-    raise AnalysisError(
-        f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}"
-    )
+    return make_analysis(protocol, options, method)
 
 
 def analyze_taskset(
@@ -51,9 +46,10 @@ def analyze_taskset(
 
     Args:
         taskset: The per-core task set.
-        protocol: ``"nps"``, ``"wasly"`` or ``"proposed"``.
+        protocol: Any registered protocol name.
         options: Shared analysis options.
-        method: ``"milp"`` or ``"closed_form"`` (ignored for NPS).
+        method: ``"milp"`` or ``"closed_form"`` (ignored by the
+            non-MILP protocols).
         ls_policy: For the proposed protocol: ``"as_marked"`` uses the
             task set's current LS flags, any key of
             :data:`repro.analysis.ls_assignment.LS_POLICIES` runs that

@@ -37,7 +37,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.analysis.interface import AnalysisOptions
+from repro.analysis.interface import AnalysisOptions, RegulationConfig
+from repro.analysis.registry import simulable_protocols, simulator_class
 from repro.analysis.schedulability import PROTOCOLS, analyze_taskset
 from repro.errors import ObservabilityError, ReproError
 from repro.io import load_taskset
@@ -51,12 +52,61 @@ from repro.experiments.report import (
 from repro.experiments.runner import FailurePolicy, run_experiment
 from repro.model.taskset import TaskSet
 from repro.sim.gantt import render_gantt, summarize_responses
-from repro.sim.interval_sim import ProposedSimulator, WaslySimulator
-from repro.sim.nps_sim import NpsSimulator
 from repro.sim.releases import sporadic_plan, synchronous_plan
 
 #: Protocols with a simulator (the carry NPS variant is analysis-only).
-SIM_PROTOCOLS = ("nps", "wasly", "proposed")
+SIM_PROTOCOLS = simulable_protocols()
+
+
+def _parse_protocols(value: str) -> tuple[str, ...] | None:
+    """``--protocols a,b,c`` -> tuple (``None`` keeps the default).
+
+    Names are validated against the protocol registry downstream
+    (:func:`repro.experiments.config.figure2_config`), which turns an
+    unknown name into a one-line ``error:`` message instead of a crash
+    deep in the runner.
+    """
+    if not value:
+        return None
+    return tuple(p.strip() for p in value.split(",") if p.strip())
+
+
+def _parse_regulation(value: str) -> RegulationConfig | None:
+    """``--regulation BUDGET:PERIOD`` -> config (``None`` when unset)."""
+    if not value:
+        return None
+    try:
+        budget, _, period = value.partition(":")
+        return RegulationConfig(budget=float(budget), period=float(period))
+    except ValueError as exc:
+        raise ReproError(
+            f"bad --regulation {value!r} (expected BUDGET:PERIOD with "
+            f"0 < budget <= period): {exc}"
+        ) from None
+
+
+def _parse_thresholds(value: str) -> tuple[tuple[str, int], ...] | None:
+    """``--thresholds name=theta,...`` -> pairs (``None`` when unset)."""
+    if not value:
+        return None
+    pairs: list[tuple[str, int]] = []
+    for item in value.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, sep, theta = item.partition("=")
+        if not sep:
+            raise ReproError(
+                f"bad --thresholds entry {item!r} (expected NAME=THETA)"
+            )
+        try:
+            pairs.append((name.strip(), int(theta)))
+        except ValueError:
+            raise ReproError(
+                f"bad --thresholds entry {item!r}: {theta!r} is not an "
+                "integer threshold"
+            ) from None
+    return tuple(pairs) or None
 
 
 def load_taskset_csv(path: str | Path) -> TaskSet:
@@ -91,12 +141,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     taskset = load_taskset_csv(args.taskset)
     if args.ls:
         taskset = taskset.with_ls_marks(args.ls.split(","))
-    simulators = {
-        "nps": NpsSimulator,
-        "wasly": WaslySimulator,
-        "proposed": ProposedSimulator,
-    }
-    sim = simulators[args.protocol](taskset)
+    sim = simulator_class(args.protocol)(taskset)
     if args.pattern == "synchronous":
         plan = synchronous_plan(taskset, args.horizon)
     else:
@@ -119,9 +164,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     config = figure2_config(
-        args.inset, sets_per_point=args.sets, seed=args.seed, method=args.method
+        args.inset,
+        sets_per_point=args.sets,
+        seed=args.seed,
+        method=args.method,
+        protocols=_parse_protocols(args.protocols),
     )
-    options = AnalysisOptions(time_limit=args.time_limit)
+    options = AnalysisOptions(
+        time_limit=args.time_limit,
+        preemption_thresholds=_parse_thresholds(args.thresholds),
+        regulation=_parse_regulation(args.regulation),
+    )
 
     def progress(point) -> None:
         ratios = "  ".join(
@@ -171,6 +224,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if args.csv:
         Path(args.csv).write_text(sweep_to_csv(result))
         print(f"CSV written to {args.csv}")
+    if args.svg:
+        from repro.experiments.figures import save_sweep_svg
+
+        save_sweep_svg(result, args.svg)
+        print(f"SVG written to {args.svg}")
     return 0
 
 
@@ -215,8 +273,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     config = figure2_config(
         args.inset, sets_per_point=args.sets, seed=args.seed,
         method=args.method,
+        protocols=_parse_protocols(args.protocols),
     )
-    options = AnalysisOptions(time_limit=args.time_limit)
+    options = AnalysisOptions(
+        time_limit=args.time_limit,
+        preemption_thresholds=_parse_thresholds(args.thresholds),
+        regulation=_parse_regulation(args.regulation),
+    )
     print(
         f"submitting {args.inset} ({args.sets} task sets per point) "
         f"to {args.host}:{args.port}"
@@ -358,15 +421,10 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     taskset = load_taskset(args.taskset)
     if args.ls:
         taskset = taskset.with_ls_marks(args.ls.split(","))
-    simulators = {
-        "nps": NpsSimulator,
-        "wasly": WaslySimulator,
-        "proposed": ProposedSimulator,
-    }
     plan = sporadic_plan(
         taskset, args.horizon, np.random.default_rng(args.seed)
     )
-    trace = simulators[args.protocol](taskset).run(plan)
+    trace = simulator_class(args.protocol)(taskset).run(plan)
     print(f"protocol: {args.protocol}, {plan.total_jobs} jobs simulated")
     print(render_metrics(compute_metrics(trace)))
     return 0
@@ -568,7 +626,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--seed", type=int, default=2020)
     p_fig.add_argument("--method", choices=("milp", "lp", "closed_form"), default="milp")
     p_fig.add_argument("--time-limit", type=float, default=None)
+    p_fig.add_argument(
+        "--protocols",
+        default="",
+        help="comma-separated registered protocol names to compare "
+        f"(default: paper's three; registered: {', '.join(PROTOCOLS)})",
+    )
+    p_fig.add_argument(
+        "--thresholds",
+        default="",
+        help="per-task preemption thresholds for the 'threshold' "
+        "protocol, as NAME=THETA,... (default: own priorities)",
+    )
+    p_fig.add_argument(
+        "--regulation",
+        default="",
+        help="memory bandwidth budget for the 'regulated' protocol, "
+        "as BUDGET:PERIOD (default: unregulated)",
+    )
     p_fig.add_argument("--csv", default="", help="write the series to a CSV file")
+    p_fig.add_argument(
+        "--svg",
+        default="",
+        help="write the comparative sweep figure as an SVG file "
+        "(one series per protocol)",
+    )
     p_fig.add_argument(
         "--checkpoint",
         default="",
@@ -664,6 +746,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", choices=("milp", "lp", "closed_form"), default="milp"
     )
     p_sub.add_argument("--time-limit", type=float, default=None)
+    p_sub.add_argument(
+        "--protocols",
+        default="",
+        help="comma-separated registered protocol names to compare "
+        "(default: paper's three)",
+    )
+    p_sub.add_argument(
+        "--thresholds",
+        default="",
+        help="per-task preemption thresholds for the 'threshold' "
+        "protocol, as NAME=THETA,... (default: own priorities)",
+    )
+    p_sub.add_argument(
+        "--regulation",
+        default="",
+        help="memory bandwidth budget for the 'regulated' protocol, "
+        "as BUDGET:PERIOD (default: unregulated)",
+    )
     p_sub.add_argument(
         "--failure-policy",
         choices=[p.value for p in FailurePolicy],

@@ -128,14 +128,42 @@ def figure2_config(
     sets_per_point: int = 50,
     seed: int = 2020,
     method: str = "milp",
+    protocols: tuple[str, ...] | None = None,
 ) -> ExperimentConfig:
-    """Build the experiment configuration for one Fig. 2 inset."""
+    """Build the experiment configuration for one Fig. 2 inset.
+
+    ``protocols`` selects the compared approaches (any registered
+    protocol names, validated against the registry); ``None`` keeps the
+    paper's three-way comparison.
+    """
     try:
         x_label, points = FIGURE2_INSETS[inset]
     except KeyError:
         raise ExperimentError(
             f"unknown inset {inset!r}; expected one of {sorted(FIGURE2_INSETS)}"
         ) from None
+    if protocols is not None:
+        from repro.analysis.registry import registered_protocols
+
+        if not protocols:
+            raise ExperimentError(f"{inset}: empty protocol tuple")
+        known = set(registered_protocols())
+        unknown = [p for p in protocols if p not in known]
+        if unknown:
+            raise ExperimentError(
+                f"unknown protocol(s) {', '.join(map(repr, unknown))}; "
+                f"registered protocols: "
+                f"{', '.join(registered_protocols())}"
+            )
+        return ExperimentConfig(
+            name=inset,
+            x_label=x_label,
+            points=points,
+            sets_per_point=sets_per_point,
+            seed=seed,
+            method=method,
+            protocols=tuple(protocols),
+        )
     return ExperimentConfig(
         name=inset,
         x_label=x_label,

@@ -1,0 +1,139 @@
+"""SVG sweep figures (no plotting dependencies).
+
+The Fig. 2 family renders as hand-assembled SVG, one line series per
+protocol over the sweep's x-axis — the publication-quality counterpart
+of :func:`repro.experiments.report.ascii_plot`, and deliberately
+k-protocol: the series list comes from ``config.protocols``, never
+from a wired-in three-name tuple. Colours reuse the Okabe-Ito palette
+of :mod:`repro.sim.svg` so trace and sweep figures stay visually
+consistent.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from repro.experiments.runner import SweepResult
+
+#: Colour-blind-friendly categorical palette (Okabe-Ito), shared with
+#: the trace SVGs.
+_PALETTE = (
+    "#0072B2", "#E69F00", "#009E73", "#CC79A7",
+    "#56B4E9", "#D55E00", "#F0E442", "#999999",
+)
+
+#: Dash patterns cycled after the palette wraps, so >8 protocols stay
+#: distinguishable.
+_DASHES = ("", "6,3", "2,2", "8,3,2,3")
+
+_LEFT = 64
+_TOP = 28
+_RIGHT = 20
+_AXIS_H = 40
+_LEGEND_ROW = 18
+
+
+def sweep_to_svg(
+    result: SweepResult,
+    width: float = 640.0,
+    height: float = 420.0,
+) -> str:
+    """Render a sweep as an SVG line chart (ratio in [0, 1] vs x).
+
+    One polyline + point markers per protocol in
+    ``result.config.protocols`` order, with a legend row per protocol.
+    """
+    protocols = list(result.config.protocols)
+    xs = result.x_values
+    x_min, x_max = min(xs), max(xs)
+    span = (x_max - x_min) or 1.0
+    legend_h = _LEGEND_ROW * len(protocols) + 10
+    plot_h = height - _TOP - _AXIS_H - legend_h
+    plot_w = width - _LEFT - _RIGHT
+
+    def px(x: float) -> float:
+        return _LEFT + (x - x_min) / span * plot_w
+
+    def py(ratio: float) -> float:
+        return _TOP + (1.0 - ratio) * plot_h
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width:.0f}" height="{height:.0f}" '
+        f'viewBox="0 0 {width:.0f} {height:.0f}" '
+        f'font-family="Helvetica, Arial, sans-serif" font-size="11">',
+        f'<rect width="{width:.0f}" height="{height:.0f}" fill="white"/>',
+        f'<text x="{width / 2:.1f}" y="16" text-anchor="middle" '
+        f'font-size="13">{escape(result.config.name)}: schedulability '
+        f"ratio vs {escape(result.config.x_label)}</text>",
+    ]
+
+    # Gridlines and y labels at 0, 0.25, ..., 1.
+    for i in range(5):
+        ratio = i / 4.0
+        y = py(ratio)
+        parts.append(
+            f'<line x1="{_LEFT}" y1="{y:.1f}" x2="{_LEFT + plot_w:.1f}" '
+            f'y2="{y:.1f}" stroke="#ddd" stroke-width="0.7"/>'
+        )
+        parts.append(
+            f'<text x="{_LEFT - 8}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-size="10">{ratio:g}</text>'
+        )
+    # x axis ticks at every sweep point.
+    axis_y = _TOP + plot_h
+    for x in xs:
+        parts.append(
+            f'<line x1="{px(x):.1f}" y1="{axis_y:.1f}" x2="{px(x):.1f}" '
+            f'y2="{axis_y + 4:.1f}" stroke="#333" stroke-width="0.8"/>'
+        )
+        parts.append(
+            f'<text x="{px(x):.1f}" y="{axis_y + 16:.1f}" '
+            f'text-anchor="middle" font-size="10">{x:g}</text>'
+        )
+    parts.append(
+        f'<text x="{_LEFT + plot_w / 2:.1f}" y="{axis_y + 30:.1f}" '
+        f'text-anchor="middle" font-size="11">'
+        f"{escape(result.config.x_label)}</text>"
+    )
+
+    # One series per protocol.
+    for i, protocol in enumerate(protocols):
+        color = _PALETTE[i % len(_PALETTE)]
+        dash = _DASHES[(i // len(_PALETTE)) % len(_DASHES)]
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        series = result.series(protocol)
+        points = " ".join(f"{px(x):.1f},{py(r):.1f}" for x, r in series)
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"{dash_attr}/>'
+        )
+        for x, r in series:
+            parts.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(r):.1f}" r="2.6" '
+                f'fill="{color}"><title>{escape(protocol)} '
+                f"{result.config.x_label}={x:g}: {r:.3f}</title></circle>"
+            )
+        # Legend row.
+        ly = axis_y + _AXIS_H + _LEGEND_ROW * i + 4
+        parts.append(
+            f'<line x1="{_LEFT}" y1="{ly - 4:.1f}" x2="{_LEFT + 26}" '
+            f'y2="{ly - 4:.1f}" stroke="{color}" '
+            f'stroke-width="1.8"{dash_attr}/>'
+        )
+        parts.append(
+            f'<text x="{_LEFT + 34}" y="{ly:.1f}" font-size="10">'
+            f"{escape(protocol)}</text>"
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_sweep_svg(
+    result: SweepResult, path: str | Path, width: float = 640.0,
+    height: float = 420.0,
+) -> None:
+    """Render a sweep figure and write it to ``path``."""
+    Path(path).write_text(sweep_to_svg(result, width=width, height=height))

@@ -13,7 +13,28 @@ from typing import Iterable
 from repro.experiments.runner import PointResult, SweepResult
 
 #: Plot marks per protocol, in drawing order (later overdraws earlier).
-_MARKS = {"nps": "n", "nps_carry": "n", "wasly": "w", "proposed": "P"}
+_MARKS = {
+    "nps": "n",
+    "nps_carry": "n",
+    "wasly": "w",
+    "proposed": "P",
+    "threshold": "t",
+    "regulated": "r",
+}
+
+
+def baseline_protocol(protocols: "Iterable[str]") -> str:
+    """The protocol advantage gaps are reported against.
+
+    ``"proposed"`` when it is in the sweep (the paper's framing);
+    otherwise the last protocol of the tuple — never a hard-coded name,
+    so k-protocol sweeps without ``"proposed"`` still report gaps
+    instead of crashing.
+    """
+    names = list(protocols)
+    if not names:
+        raise ValueError("no protocols to pick a baseline from")
+    return "proposed" if "proposed" in names else names[-1]
 
 
 def sweep_to_csv(result: SweepResult) -> str:
@@ -45,9 +66,16 @@ def aggregate_analysis_stats(points: "Iterable[PointResult]") -> dict[str, int]:
     return stats
 
 
-def render_sweep_table(result: SweepResult) -> str:
-    """Human-readable table of the sweep's schedulability ratios."""
+def render_sweep_table(result: SweepResult, baseline: str | None = None) -> str:
+    """Human-readable table of the sweep's schedulability ratios.
+
+    ``baseline`` names the protocol the advantage lines compare
+    against; ``None`` picks :func:`baseline_protocol` (``"proposed"``
+    when swept, else the last protocol).
+    """
     protocols = list(result.config.protocols)
+    if baseline is None:
+        baseline = baseline_protocol(protocols)
     header = f"{result.config.x_label:>8} | " + " | ".join(
         f"{p:>9}" for p in protocols
     )
@@ -56,10 +84,12 @@ def render_sweep_table(result: SweepResult) -> str:
         cells = " | ".join(f"{point.ratios[p]:>9.3f}" for p in protocols)
         lines.append(f"{point.x:>8g} | {cells}")
     for protocol in protocols:
-        if protocol == "proposed":
+        if protocol == baseline:
             continue
-        gap = result.advantage("proposed", protocol)
-        lines.append(f"max advantage of proposed over {protocol}: {gap:+.3f}")
+        gap = result.advantage(baseline, protocol)
+        lines.append(
+            f"max advantage of {baseline} over {protocol}: {gap:+.3f}"
+        )
     if result.failures:
         lines.append(
             f"failures: {len(result.failures)} taskset/protocol pairs "

@@ -34,7 +34,7 @@ import socket
 from contextlib import nullcontext
 from typing import Any
 
-from repro.analysis.interface import AnalysisOptions
+from repro.analysis.interface import AnalysisOptions, RegulationConfig
 from repro.errors import ReproError
 from repro.experiments.persistence import _config_from_dict
 from repro.experiments.runner import _worker_evaluate
@@ -59,7 +59,14 @@ def options_to_dict(options: "AnalysisOptions | None") -> "dict | None":
 
 
 def options_from_dict(raw: "dict | None") -> "AnalysisOptions | None":
-    """Rebuild :class:`AnalysisOptions` from :func:`options_to_dict`."""
+    """Rebuild :class:`AnalysisOptions` from :func:`options_to_dict`.
+
+    The structured protocol knobs are re-normalised to their canonical
+    in-memory shapes (tuples, :class:`RegulationConfig`): the JSON wire
+    collapses tuples to lists, and a reconstructed options object must
+    ``repr`` identically to a locally-built one — unit digests (and so
+    the store's served-unit tier) hash that ``repr``.
+    """
     if raw is None:
         return None
     fields = dict(raw)
@@ -70,7 +77,20 @@ def options_from_dict(raw: "dict | None") -> "AnalysisOptions | None":
             resilience["max_degradation"]
         )
         resilience = ResilienceConfig(**resilience)
-    return AnalysisOptions(**fields, resilience=resilience)
+    thresholds = fields.pop("preemption_thresholds", None)
+    if thresholds is not None:
+        thresholds = tuple(
+            (str(name), int(theta)) for name, theta in thresholds
+        )
+    regulation = fields.pop("regulation", None)
+    if regulation is not None:
+        regulation = RegulationConfig(**regulation)
+    return AnalysisOptions(
+        **fields,
+        resilience=resilience,
+        preemption_thresholds=thresholds,
+        regulation=regulation,
+    )
 
 
 def _check_disconnect(

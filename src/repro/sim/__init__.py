@@ -12,6 +12,10 @@ example of Fig. 1.
 * :class:`WaslySimulator` — the double-buffered interval protocol of
   [3] (no cancellations or urgency).
 * :class:`ProposedSimulator` — the paper's protocol, rules R1-R6.
+* :class:`ThresholdSimulator` — limited preemption with per-task
+  preemption thresholds (zoo protocol).
+* :class:`RegulatedSimulator` — NPS under per-core memory bandwidth
+  regulation (zoo protocol).
 """
 
 from repro.sim.releases import (
@@ -23,6 +27,8 @@ from repro.sim.releases import (
 from repro.sim.trace import Interval, Job, Trace
 from repro.sim.nps_sim import NpsSimulator
 from repro.sim.interval_sim import ProposedSimulator, WaslySimulator
+from repro.sim.threshold_sim import ThresholdSimulator
+from repro.sim.regulated_sim import RegulatedSimulator
 from repro.sim.validate import (
     check_phase_ordering,
     check_blocking_bounds,
@@ -51,6 +57,8 @@ __all__ = [
     "NpsSimulator",
     "WaslySimulator",
     "ProposedSimulator",
+    "ThresholdSimulator",
+    "RegulatedSimulator",
     "check_phase_ordering",
     "check_blocking_bounds",
     "check_trace",

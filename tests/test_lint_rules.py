@@ -292,6 +292,30 @@ class TestSolverOptionsRule:
         violations = solver_options_rule(modules)
         assert any("never read" in v.message for v in violations)
 
+    def test_unsigned_protocol_knobs_fail_lint(self):
+        # The protocol-zoo acceptance fixture: a signature frozen at
+        # its pre-zoo shape (tests/lint_fixtures/solver_options_bad.py)
+        # omits preemption_thresholds and regulation; the rule must
+        # flag exactly those two fields, or threshold/bandwidth sweeps
+        # could share persistent entries across differing knobs.
+        fixture = REPO_ROOT / "tests" / "lint_fixtures" / "solver_options_bad.py"
+        modules = dict(load_repo_modules())
+        modules["repro.analysis.proposed.response_time"] = SourceModule.parse(
+            "repro.analysis.proposed.response_time",
+            str(fixture),
+            fixture.read_text(),
+        )
+        violations = solver_options_rule(modules)
+        flagged = {
+            field
+            for v in violations
+            for field in ("preemption_thresholds", "regulation")
+            if f"AnalysisOptions.{field}" in v.message
+        }
+        assert flagged == {"preemption_thresholds", "regulation"}
+        # The solver knobs the fixture does sign stay clean.
+        assert not any("time_limit" in v.message for v in violations)
+
     def test_missing_module_reports_instead_of_passing(self):
         modules = dict(load_repo_modules())
         del modules["repro.analysis.store"]
